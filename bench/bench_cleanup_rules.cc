@@ -1,0 +1,90 @@
+// Ablation A2 — Sect. 4.4: "we made some NF simplification rules already
+// available to XNF rewrite. Among those were removal of unused boxes, box
+// merge, and other clean-up operations."
+//
+// Compares the compiled plan (live boxes, operations) and execution time
+// with the clean-up rules on vs. off, for the Fig. 3 query and for the
+// unshared XNF derivation (whose existential reachability benefits from
+// the E-to-F conversion).
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "parser/parser.h"
+#include "xnf/compiler.h"
+#include "xnf/op_count.h"
+
+namespace xnfdb {
+namespace bench {
+namespace {
+
+struct RunResult {
+  int boxes = 0;
+  int ops = 0;
+  double ms = 0;
+};
+
+RunResult RunXnf(Database* db, const ast::XnfQuery& query, bool rules_enabled,
+                 bool naive_exists) {
+  CompileOptions copts;
+  copts.xnf.share_connection_boxes = false;  // exercises E2F on reachability
+  copts.nf.exists_to_join = rules_enabled;
+  copts.nf.select_merge = rules_enabled;
+  copts.nf.remove_unused = rules_enabled;
+  ExecOptions eopts;
+  eopts.plan.naive_exists = naive_exists;
+  Result<CompiledQuery> compiled = CompileXnf(db->catalog(), query, copts);
+  CheckOk(compiled.status(), "compile");
+  RunResult out;
+  OpCounts counts = CountOps(*compiled.value().graph);
+  out.boxes = counts.boxes;
+  out.ops = counts.selections + counts.joins;
+  out.ms = TimeSecs([&] {
+             Result<QueryResult> r =
+                 ExecuteGraph(db->catalog(), *compiled.value().graph, eopts);
+             CheckOk(r.status(), "execute");
+           }) *
+           1000.0;
+  return out;
+}
+
+int Run() {
+  std::printf(
+      "Ablation A2 — NF clean-up/conversion rules available to XNF rewrite "
+      "(unshared deps_ARC derivation)\n"
+      "  rules-on    = E-to-F conversion + merge + clean-up (Fig. 5b "
+      "joins)\n"
+      "  off+hash    = rules off, existential checks still hashed\n"
+      "  off+naive   = rules off, per-outer-row subquery scans (the "
+      "Sect. 3.2 naive strategy)\n\n");
+  std::printf("%-8s | %6s %6s %12s | %12s | %12s | %10s\n", "depts", "boxes",
+              "ops", "rules-on(ms)", "off+hash(ms)", "off+naive(ms)",
+              "naive/on");
+  for (int departments : {20, 80, 320}) {
+    Database db;
+    DeptDbParams params;
+    params.departments = departments;
+    CheckOk(PopulateDeptDb(&db, params), "populate");
+    Result<std::unique_ptr<ast::XnfQuery>> query =
+        ParseXnfQuery(kDepsArcQuery);
+    CheckOk(query.status(), "parse");
+
+    RunResult with_rules = RunXnf(&db, *query.value(), true, false);
+    RunResult off_hash = RunXnf(&db, *query.value(), false, false);
+    RunResult off_naive = RunXnf(&db, *query.value(), false, true);
+    std::printf("%-8d | %6d %6d %12.2f | %12.2f | %12.2f | %9.1fx\n",
+                departments, with_rules.boxes, with_rules.ops, with_rules.ms,
+                off_hash.ms, off_naive.ms, off_naive.ms / with_rules.ms);
+  }
+  std::printf(
+      "\nExpected shape: without the rules *and* without hashed existential "
+      "checks (the 1994 baseline), evaluation degrades sharply with scale; "
+      "the rules keep the plan compact (fewer live boxes).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xnfdb
+
+int main() { return xnfdb::bench::Run(); }

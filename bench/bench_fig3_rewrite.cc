@@ -1,0 +1,94 @@
+// Fig. 3 / Sect. 3.2: the existential-subquery-to-join rewrite.
+//
+// "One straightforward execution strategy used in many DBMSs is to retrieve
+// employees first and for each execute the subquery ... Such a strategy may
+// result in poor performance ... The performance study in [39] shows orders
+// of magnitude improvement in performance of queries with existential
+// predicates."
+//
+// Strategies compared on `SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM
+// DEPT d WHERE d.LOC = 'ARC' AND d.DNO = e.EDNO)`:
+//   naive      — no rewrite, per-outer-row scan of the subquery rows,
+//   hash-exist — no rewrite, hashed existential check,
+//   rewritten  — E-to-F conversion + SELECT merge (Fig. 3c), hash join.
+
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "xnf/compiler.h"
+
+namespace xnfdb {
+namespace bench {
+namespace {
+
+const char* kQuery =
+    "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE "
+    "d.LOC = 'ARC' AND d.DNO = e.EDNO)";
+
+struct Strategy {
+  const char* name;
+  bool rewrite;
+  bool naive;
+};
+
+int Run() {
+  std::printf(
+      "Fig. 3 — existential subquery vs. rewritten join "
+      "(EMP x DEPT, 10%% ARC departments)\n\n");
+  std::printf("%-10s %-10s %14s %14s %14s %12s\n", "emps", "depts",
+              "naive(ms)", "hash-exist(ms)", "rewritten(ms)",
+              "naive/rewr");
+
+  for (int emps : {1000, 4000, 16000}) {
+    int depts = emps / 10;
+    Database db;
+    DeptDbParams params;
+    params.departments = depts;
+    params.arc_fraction = 0.1;
+    params.emps_per_dept = emps / depts;
+    params.projs_per_dept = 0;
+    params.skills = 1;
+    params.skills_per_emp = 0;
+    params.skills_per_proj = 0;
+    CheckOk(PopulateDeptDb(&db, params), "populate");
+
+    const Strategy strategies[] = {
+        {"naive", false, true},
+        {"hash-exist", false, false},
+        {"rewritten", true, false},
+    };
+    double ms[3];
+    size_t rows[3];
+    for (int s = 0; s < 3; ++s) {
+      CompileOptions copts;
+      copts.nf.exists_to_join = strategies[s].rewrite;
+      copts.nf.select_merge = strategies[s].rewrite;
+      ExecOptions eopts;
+      eopts.plan.naive_exists = strategies[s].naive;
+      size_t row_count = 0;
+      double secs = TimeSecs([&] {
+        Result<QueryResult> r = db.Query(kQuery, copts, eopts);
+        CheckOk(r.status(), strategies[s].name);
+        row_count = r.value().RowCount(0);
+      });
+      ms[s] = secs * 1000.0;
+      rows[s] = row_count;
+    }
+    if (rows[0] != rows[1] || rows[1] != rows[2]) {
+      std::fprintf(stderr, "strategies disagree on row counts!\n");
+      return 1;
+    }
+    std::printf("%-10d %-10d %14.2f %14.2f %14.2f %11.1fx\n", emps, depts,
+                ms[0], ms[1], ms[2], ms[0] / ms[2]);
+  }
+  std::printf(
+      "\nExpected shape: the rewritten join wins, increasingly with scale "
+      "(paper: \"orders of magnitude improvement\").\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xnfdb
+
+int main() { return xnfdb::bench::Run(); }

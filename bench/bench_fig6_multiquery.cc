@@ -1,0 +1,106 @@
+// Fig. 5/6 + Sect. 5.1: multi-query optimization through the XNF CO
+// constructor. Deriving the eight deps_ARC outputs with eight separate SQL
+// queries recomputes the shared subexpressions (Fig. 6); the single XNF
+// query computes each shared subexpression once (Fig. 5b), the executor
+// spooling it for all consumers.
+//
+// Reported per scale: elapsed time, base rows scanned, and spool builds.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "xnf/compiler.h"
+
+namespace xnfdb {
+namespace bench {
+namespace {
+
+std::vector<std::string> ComponentQueries() {
+  return {
+      "SELECT * FROM DEPT_ARC",
+      "SELECT * FROM XEMP_V",
+      "SELECT * FROM XPROJ_V",
+      "SELECT xd.DNO, xe.ENO FROM DEPT_ARC xd, XEMP_V xe "
+      "WHERE xd.DNO = xe.EDNO",
+      "SELECT xd.DNO, xp.PNO FROM DEPT_ARC xd, XPROJ_V xp "
+      "WHERE xd.DNO = xp.PDNO",
+      "SELECT s.SNO, s.SNAME FROM SKILLS s WHERE "
+      "EXISTS (SELECT 1 FROM XEMP_V xe, EMPSKILLS es "
+      "        WHERE xe.ENO = es.ESENO AND es.ESSNO = s.SNO) OR "
+      "EXISTS (SELECT 1 FROM XPROJ_V xp, PROJSKILLS ps "
+      "        WHERE xp.PNO = ps.PSPNO AND ps.PSSNO = s.SNO)",
+      "SELECT xe.ENO, es.ESSNO FROM XEMP_V xe, EMPSKILLS es "
+      "WHERE xe.ENO = es.ESENO",
+      "SELECT xp.PNO, ps.PSSNO FROM XPROJ_V xp, PROJSKILLS ps "
+      "WHERE xp.PNO = ps.PSPNO",
+  };
+}
+
+int Run() {
+  std::printf(
+      "Fig. 6 — 8 separate SQL derivations vs. one multi-table XNF query\n\n");
+  std::printf("%-8s | %12s %12s | %12s %12s | %8s\n", "depts", "SQL(ms)",
+              "scanned", "XNF(ms)", "scanned", "speedup");
+
+  for (int departments : {20, 60, 180}) {
+    Database db;
+    DeptDbParams params;
+    params.departments = departments;
+    CheckOk(PopulateDeptDb(&db, params), "populate");
+    CheckOk(db.Execute("CREATE VIEW DEPT_ARC AS SELECT * FROM DEPT WHERE "
+                       "LOC = 'ARC'")
+                .status(),
+            "view");
+    CheckOk(db.Execute("CREATE VIEW XEMP_V AS SELECT e.* FROM EMP e WHERE "
+                       "EXISTS (SELECT 1 FROM DEPT_ARC d WHERE "
+                       "d.DNO = e.EDNO)")
+                .status(),
+            "view");
+    CheckOk(db.Execute("CREATE VIEW XPROJ_V AS SELECT p.* FROM PROJ p "
+                       "WHERE EXISTS (SELECT 1 FROM DEPT_ARC d WHERE "
+                       "d.DNO = p.PDNO)")
+                .status(),
+            "view");
+
+    int64_t sql_scanned = 0;
+    double sql_secs = TimeSecs([&] {
+      for (const std::string& q : ComponentQueries()) {
+        Result<QueryResult> r = db.Query(q);
+        CheckOk(r.status(), q);
+        sql_scanned += r.value().stats.rows_scanned;
+      }
+    });
+
+    int64_t xnf_scanned = 0;
+    int64_t spools = 0;
+    double xnf_secs = TimeSecs([&] {
+      Result<QueryResult> r = db.Query(kDepsArcQuery);
+      CheckOk(r.status(), "XNF query");
+      xnf_scanned = r.value().stats.rows_scanned;
+      spools = r.value().stats.spool_builds;
+    });
+
+    std::printf("%-8d | %12.2f %12lld | %12.2f %12lld | %7.1fx\n",
+                departments, sql_secs * 1000.0,
+                static_cast<long long>(sql_scanned), xnf_secs * 1000.0,
+                static_cast<long long>(xnf_scanned), sql_secs / xnf_secs);
+    if (departments == 20) {
+      std::printf("         (XNF plan shares %lld spooled common "
+                  "subexpressions)\n",
+                  static_cast<long long>(spools));
+    }
+  }
+  std::printf(
+      "\nExpected shape: XNF scans each base table once and reuses shared "
+      "subexpressions; the 8-query plan re-derives them (Table 1: 23 vs 7 "
+      "operations).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xnfdb
+
+int main() { return xnfdb::bench::Run(); }

@@ -1,0 +1,128 @@
+// Recursive composite objects (paper Sect. 2): the fixpoint evaluator's
+// scaling on bill-of-materials hierarchies. "This cycle basically defines a
+// 'derivation rule' that iterates along the cycle's relationships to
+// collect the tuples until a fixed point is reached."
+//
+// Workload: a part tree of depth D and fan-out F (plus 20% cross edges for
+// diamonds) anchored at one product. Reported: parts reached, evaluation
+// time, and the time of the non-recursive 1-level / 2-level unrolled
+// queries for contrast (what an application would hand-code without
+// recursive CO support).
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+
+#include "bench/workloads.h"
+
+namespace xnfdb {
+namespace bench {
+namespace {
+
+// Builds a BOM with `depth` levels of fan-out `fanout` under part 1.
+// Returns the number of parts.
+int BuildBom(Database* db, int depth, int fanout, uint32_t seed) {
+  CheckOk(db->ExecuteScript(R"sql(
+    CREATE TABLE PART (PNO INTEGER, PNAME VARCHAR, PRIMARY KEY (PNO));
+    CREATE TABLE BOM (ASSEMBLY INTEGER, COMPONENT INTEGER);
+    CREATE INDEX ON BOM (ASSEMBLY);
+  )sql")
+              .status(),
+          "schema");
+  std::mt19937 rng(seed);
+  int next = 1;
+  std::vector<int> level{next};
+  std::ostringstream parts, edges;
+  parts << "INSERT INTO PART VALUES (1, 'root')";
+  bool has_edges = false;
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> next_level;
+    for (int parent : level) {
+      for (int k = 0; k < fanout; ++k) {
+        int child = ++next;
+        parts << ", (" << child << ", 'p" << child << "')";
+        edges << (has_edges ? ", " : "INSERT INTO BOM VALUES ") << "("
+              << parent << ", " << child << ")";
+        has_edges = true;
+        next_level.push_back(child);
+      }
+    }
+    // Cross edges (diamonds) within the new level.
+    for (size_t i = 0; i + 1 < next_level.size(); i += 5) {
+      edges << ", (" << next_level[i] << ", " << next_level[i + 1] << ")";
+    }
+    level = std::move(next_level);
+  }
+  CheckOk(db->Execute(parts.str()).status(), "parts");
+  if (has_edges) CheckOk(db->Execute(edges.str()).status(), "edges");
+  return next;
+}
+
+const char* kRecursiveQuery = R"sql(
+  OUT OF product AS (SELECT * FROM PART WHERE PNO = 1),
+         xpart AS PART,
+         top AS (RELATE product VIA ANCHORS, xpart USING BOM b
+                 WHERE product.pno = b.assembly AND b.component = xpart.pno),
+         uses AS (RELATE xpart VIA CONTAINS, xpart USING BOM b
+                  WHERE contains.pno = b.assembly AND b.component = xpart.pno)
+  TAKE *
+)sql";
+
+// What an application would write without recursion: a fixed 2-level
+// unrolling (direct children and grandchildren only).
+const char* kUnrolledQuery = R"sql(
+  OUT OF product AS (SELECT * FROM PART WHERE PNO = 1),
+         l1 AS PART,
+         l2 AS PART,
+         top AS (RELATE product VIA ANCHORS, l1 USING BOM b
+                 WHERE product.pno = b.assembly AND b.component = l1.pno),
+         sub AS (RELATE l1 VIA CONTAINS, l2 USING BOM b
+                 WHERE l1.pno = b.assembly AND b.component = l2.pno)
+  TAKE *
+)sql";
+
+int Run() {
+  std::printf(
+      "Recursive CO evaluation (fixpoint) on bill-of-materials "
+      "hierarchies\n\n");
+  std::printf("%-16s %8s | %10s %10s | %14s %10s\n", "depth x fanout",
+              "parts", "reached", "fix(ms)", "2-level unroll", "reached");
+  struct Config {
+    int depth, fanout;
+  } configs[] = {{4, 3}, {6, 3}, {8, 3}, {10, 2}};
+  for (const Config& config : configs) {
+    Database db;
+    int parts = BuildBom(&db, config.depth, config.fanout, 11);
+    size_t reached = 0;
+    double fix_ms = TimeSecs([&] {
+                      Result<QueryResult> r = db.Query(kRecursiveQuery);
+                      CheckOk(r.status(), "recursive");
+                      reached = r.value().RowCount(
+                          r.value().FindOutput("XPART"));
+                    }) *
+                    1000.0;
+    size_t unrolled = 0;
+    double unroll_ms = TimeSecs([&] {
+                         Result<QueryResult> r = db.Query(kUnrolledQuery);
+                         CheckOk(r.status(), "unrolled");
+                         unrolled =
+                             r.value().RowCount(r.value().FindOutput("L1")) +
+                             r.value().RowCount(r.value().FindOutput("L2"));
+                       }) *
+                       1000.0;
+    std::printf("%3d x %-10d %8d | %10zu %10.2f | %14.2f %10zu\n",
+                config.depth, config.fanout, parts, reached, fix_ms,
+                unroll_ms, unrolled);
+  }
+  std::printf(
+      "\nExpected shape: the fixpoint reaches the full transitive closure "
+      "with time roughly linear in edges; a fixed unrolling reaches only "
+      "its hard-coded depth.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xnfdb
+
+int main() { return xnfdb::bench::Run(); }

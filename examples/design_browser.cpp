@@ -1,0 +1,133 @@
+// Design-application scenario (the paper's motivating domain: "design
+// applications, multi-media and AI applications", Sect. 1; CAD traversal
+// requirements, Sect. 5.2).
+//
+// A small CAD-style design database: modules containing cells, cells wired
+// by nets. The browser extracts one module's composite object and navigates
+// it: fan-out statistics via dependent cursors, a path expression to find
+// all nets of the module, and a wire-length report — all against the cache,
+// without further server calls.
+
+#include <cstdio>
+#include <string>
+
+#include "api/database.h"
+#include "cache/cursor.h"
+#include "cache/xnf_cache.h"
+
+using xnfdb::CachedRow;
+using xnfdb::Database;
+using xnfdb::DependentCursor;
+using xnfdb::IndependentCursor;
+using xnfdb::Status;
+using xnfdb::Value;
+using xnfdb::XNFCache;
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// A two-module design: cells belong to modules; nets connect cells.
+void LoadDesign(Database* db) {
+  Check(db->ExecuteScript(R"sql(
+    CREATE TABLE MODULE (MID INTEGER, MNAME VARCHAR, PRIMARY KEY (MID));
+    CREATE TABLE CELL (CID INTEGER, CTYPE VARCHAR, CMOD INTEGER,
+                       X INTEGER, Y INTEGER, PRIMARY KEY (CID),
+                       FOREIGN KEY (CMOD) REFERENCES MODULE (MID));
+    CREATE TABLE NET (NID INTEGER, NNAME VARCHAR, PRIMARY KEY (NID));
+    CREATE TABLE PIN (PCELL INTEGER, PNET INTEGER,
+                      FOREIGN KEY (PCELL) REFERENCES CELL (CID),
+                      FOREIGN KEY (PNET) REFERENCES NET (NID));
+    INSERT INTO MODULE VALUES (1, 'alu'), (2, 'decoder');
+  )sql")
+            .status());
+  // alu: cells 1..8, decoder: cells 9..12; nets wire consecutive cells.
+  for (int c = 1; c <= 12; ++c) {
+    std::string type = (c % 3 == 0) ? "nand" : ((c % 3 == 1) ? "nor" : "inv");
+    Check(db->Execute("INSERT INTO CELL VALUES (" + std::to_string(c) +
+                      ", '" + type + "', " + (c <= 8 ? "1" : "2") + ", " +
+                      std::to_string(10 * c) + ", " + std::to_string(5 * c) +
+                      ")")
+              .status());
+  }
+  for (int n = 1; n <= 10; ++n) {
+    Check(db->Execute("INSERT INTO NET VALUES (" + std::to_string(n) +
+                      ", 'net" + std::to_string(n) + "')")
+              .status());
+    // Each net connects cell n and cell n+2 (stays within a module mostly).
+    Check(db->Execute("INSERT INTO PIN VALUES (" + std::to_string(n) + ", " +
+                      std::to_string(n) + "), (" + std::to_string(n + 2) +
+                      ", " + std::to_string(n) + ")")
+              .status());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  LoadDesign(&db);
+
+  // The module CO: one module, its cells, and the nets its cells pin to.
+  const char* module_view = R"sql(
+    OUT OF xmodule AS (SELECT * FROM MODULE WHERE MNAME = 'alu'),
+           xcell AS CELL,
+           xnet AS NET,
+           contains AS (RELATE xmodule VIA CONTAINS, xcell
+                        WHERE xmodule.mid = xcell.cmod),
+           wiring AS (RELATE xcell VIA PINS, xnet USING PIN p
+                      WHERE xcell.cid = p.pcell AND p.pnet = xnet.nid)
+    TAKE *
+  )sql";
+
+  db.ResetServerCalls();
+  auto cache = XNFCache::Evaluate(&db, module_view);
+  Check(cache.status());
+  xnfdb::Workspace& ws = cache.value()->workspace();
+  std::printf("extracted module CO with %lld server call(s)\n",
+              static_cast<long long>(db.server_calls()));
+  std::printf("  cells: %zu, nets: %zu (only those reachable from 'alu')\n",
+              ws.component("XCELL").value()->LiveCount(),
+              ws.component("XNET").value()->LiveCount());
+
+  // Fan-out statistics: how many nets each cell pins to (dependent
+  // cursors, no server involvement).
+  std::printf("\ncell fan-out:\n");
+  IndependentCursor cells(ws.component("XCELL").value());
+  xnfdb::Relationship* wiring = ws.relationship("WIRING").value();
+  while (cells.Next()) {
+    int fanout = 0;
+    DependentCursor nets(&ws, wiring, cells.row());
+    while (nets.Next()) ++fanout;
+    std::printf("  cell %lld (%s): %d net(s)\n",
+                static_cast<long long>(cells.row()->values[0].AsInt()),
+                cells.row()->values[1].AsString().c_str(), fanout);
+  }
+
+  // Path expression: all nets of the module in one step.
+  auto nets = cache.value()->Path("XMODULE.CONTAINS.XCELL.WIRING.XNET");
+  Check(nets.status());
+  std::printf("\nnets reachable through XMODULE.CONTAINS.XCELL.WIRING.XNET: "
+              "%zu\n",
+              nets.value().size());
+
+  // Shared objects: a net pinned by two cells of the module appears once
+  // but has two parents.
+  IndependentCursor net_cursor(ws.component("XNET").value());
+  while (net_cursor.Next()) {
+    DependentCursor pinned(&ws, wiring, net_cursor.row(),
+                           DependentCursor::Direction::kParents);
+    int pins = 0;
+    while (pinned.Next()) ++pins;
+    if (pins > 1) {
+      std::printf("net %s is shared by %d cells (object sharing)\n",
+                  net_cursor.row()->values[1].AsString().c_str(), pins);
+    }
+  }
+  return 0;
+}

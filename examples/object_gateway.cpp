@@ -1,0 +1,137 @@
+// The Object/SQL-gateway scenario (paper Sect. 5.2 / 6, [33]): the
+// seamless C++ interface. Component rows are materialized as ordinary C++
+// objects with *pointer members* wired along the relationships ("creating
+// classes for xemp and xdept which include a data member, whose value is a
+// pointer to an xemp object"), plus container classes and generic typed
+// cursors. Local updates are written back to the relational server.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "cache/seamless.h"
+#include "cache/xnf_cache.h"
+
+using xnfdb::CachedRow;
+using xnfdb::Database;
+using xnfdb::LinkMembers;
+using xnfdb::ObjectSet;
+using xnfdb::Status;
+using xnfdb::Value;
+using xnfdb::XCursor;
+using xnfdb::XNFCache;
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// The application's own object model.
+struct Emp;
+struct Dept {
+  int64_t dno = 0;
+  std::string name;
+  std::vector<Emp*> staff;   // wired from the EMPLOYMENT relationship
+  const CachedRow* row = nullptr;
+};
+struct Emp {
+  int64_t eno = 0;
+  std::string name;
+  double salary = 0;
+  Dept* dept = nullptr;      // back-pointer, also from EMPLOYMENT
+  const CachedRow* row = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  Database db;
+  Check(db.ExecuteScript(R"sql(
+    CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR, LOC VARCHAR,
+                       PRIMARY KEY (DNO));
+    CREATE TABLE EMP (ENO INTEGER, ENAME VARCHAR, EDNO INTEGER, SAL DOUBLE,
+                      PRIMARY KEY (ENO),
+                      FOREIGN KEY (EDNO) REFERENCES DEPT (DNO));
+    INSERT INTO DEPT VALUES (1, 'db', 'ARC'), (2, 'os', 'ARC');
+    INSERT INTO EMP VALUES (1, 'ann', 1, 90000.0), (2, 'bo', 1, 82000.0),
+                           (3, 'cy', 2, 85000.0);
+  )sql")
+            .status());
+
+  auto cache = XNFCache::Evaluate(&db, R"sql(
+    OUT OF xdept AS DEPT,
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )sql");
+  Check(cache.status());
+  xnfdb::Workspace& ws = cache.value()->workspace();
+
+  // Materialize the cache into application objects.
+  ObjectSet<Dept> depts;
+  Check(depts.Load(&ws, "XDEPT", [](const CachedRow& r, Dept* d) {
+    d->dno = r.values[0].AsInt();
+    d->name = r.values[1].AsString();
+    d->row = &r;
+  }));
+  ObjectSet<Emp> emps;
+  Check(emps.Load(&ws, "XEMP", [](const CachedRow& r, Emp* e) {
+    e->eno = r.values[0].AsInt();
+    e->name = r.values[1].AsString();
+    e->salary = r.values[3].AsDouble();
+    e->row = &r;
+  }));
+  Check(LinkMembers<Dept, Emp>(&ws, "EMPLOYMENT", &depts, &emps,
+                               [](Dept* d, Emp* e) {
+                                 d->staff.push_back(e);
+                                 e->dept = d;
+                               }));
+
+  // Pure C++ navigation: no database types in sight.
+  std::printf("departments and staff (through C++ pointers):\n");
+  for (Dept& d : depts) {
+    std::printf("  %s:", d.name.c_str());
+    for (Emp* e : d.staff) {
+      std::printf(" %s($%.0f)", e->name.c_str(), e->salary);
+    }
+    std::printf("\n");
+  }
+
+  // A generic typed cursor (the XCursor of Sect. 5.2).
+  double payroll = 0;
+  XCursor<Emp> cursor(&emps);
+  while (cursor.Next()) payroll += cursor.object()->salary;
+  std::printf("total payroll: $%.0f\n", payroll);
+
+  // Local update through the cache, then write-back to the server: give
+  // everyone in 'db' a raise.
+  for (Dept& d : depts) {
+    if (d.name != "db") continue;
+    for (Emp* e : d.staff) {
+      CachedRow* row = const_cast<CachedRow*>(e->row);
+      Check(cache.value()->Update(row, "SAL", Value(e->salary * 1.1)));
+    }
+  }
+  auto stmts = cache.value()->WriteBack();
+  Check(stmts.status());
+  std::printf("\nwrite-back issued %zu statement(s):\n", stmts.value().size());
+  for (const std::string& s : stmts.value()) {
+    std::printf("  %s\n", s.c_str());
+  }
+
+  // Verify against the server.
+  auto check = db.Query("SELECT ENAME, SAL FROM EMP ORDER BY ENO");
+  Check(check.status());
+  std::printf("\nserver state after write-back:\n");
+  for (const xnfdb::Tuple& row : check.value().rows()) {
+    std::printf("  %s: $%.0f\n", row[0].AsString().c_str(),
+                row[1].AsDouble());
+  }
+  return 0;
+}

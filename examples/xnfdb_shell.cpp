@@ -1,0 +1,180 @@
+// An interactive shell over the embedded engine: type SQL or XNF
+// statements, get tabular / composite-object results. Supports meta
+// commands:
+//
+//   .help               this text
+//   .tables             list tables and views
+//   .explain <query>    show rewrite stats, op counts and physical plan
+//   .dot <query>        emit the query graph in Graphviz DOT
+//   .save <file>        persist the database
+//   .open <file>        load a database (into an empty shell)
+//   .quit
+//
+// Run:  ./build/examples/xnfdb_shell          (interactive)
+//       ./build/examples/xnfdb_shell < script.sql
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/database.h"
+#include "common/str_util.h"
+#include "qgm/dot.h"
+#include "storage/persist.h"
+#include "xnf/compiler.h"
+
+using xnfdb::Database;
+using xnfdb::QueryResult;
+using xnfdb::Status;
+using xnfdb::StreamItem;
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  // Plain SQL: one table.
+  if (result.outputs.size() == 1 && !result.outputs[0].is_connection &&
+      result.outputs[0].name == "RESULT") {
+    const xnfdb::Schema& schema = result.outputs[0].schema;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : " | ",
+                  schema.column(i).name.c_str());
+    }
+    std::printf("\n");
+    size_t n = 0;
+    for (const StreamItem& item : result.stream) {
+      if (item.kind != StreamItem::Kind::kRow) continue;
+      for (size_t i = 0; i < item.values.size(); ++i) {
+        std::printf("%s%s", i == 0 ? "" : " | ",
+                    item.values[i].ToString().c_str());
+      }
+      std::printf("\n");
+      ++n;
+    }
+    std::printf("(%zu row%s)\n", n, n == 1 ? "" : "s");
+    return;
+  }
+  // XNF: heterogeneous streams, grouped per output.
+  for (size_t oi = 0; oi < result.outputs.size(); ++oi) {
+    const xnfdb::OutputDesc& desc = result.outputs[oi];
+    if (desc.is_connection) {
+      std::printf("-- relationship %s (%zu connection%s)\n",
+                  desc.name.c_str(),
+                  result.ConnectionCount(static_cast<int>(oi)),
+                  result.ConnectionCount(static_cast<int>(oi)) == 1 ? ""
+                                                                    : "s");
+      for (const StreamItem& item : result.stream) {
+        if (item.kind != StreamItem::Kind::kConnection ||
+            item.output != static_cast<int>(oi)) {
+          continue;
+        }
+        std::printf("  ");
+        for (size_t pi = 0; pi < item.tids.size(); ++pi) {
+          std::printf("%s%s#%lld", pi == 0 ? "" : " -> ",
+                      desc.partner_names[pi].c_str(),
+                      static_cast<long long>(item.tids[pi]));
+        }
+        std::printf("\n");
+      }
+      continue;
+    }
+    std::printf("-- component %s\n", desc.name.c_str());
+    for (const StreamItem& item : result.stream) {
+      if (item.kind != StreamItem::Kind::kRow ||
+          item.output != static_cast<int>(oi)) {
+        continue;
+      }
+      std::printf("  #%lld %s\n", static_cast<long long>(item.tid),
+                  xnfdb::TupleToString(item.values).c_str());
+    }
+  }
+}
+
+bool IsQueryText(const std::string& text) {
+  std::string upper = xnfdb::ToUpperIdent(xnfdb::Trim(text));
+  return upper.rfind("SELECT", 0) == 0 || upper.rfind("OUT", 0) == 0;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("xnfdb shell — SQL + XNF composite-object views. "
+                "Type .help for help.\n");
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::printf(buffer.empty() ? "xnfdb> " : "  ...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed = xnfdb::Trim(line);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
+      // Meta command.
+      size_t space = trimmed.find(' ');
+      std::string cmd = trimmed.substr(0, space);
+      std::string arg =
+          space == std::string::npos ? "" : xnfdb::Trim(trimmed.substr(space));
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        std::printf(
+            ".tables | .explain <q> | .dot <q> | .save <f> | .open <f> | "
+            ".quit\nStatements end with ';'.\n");
+      } else if (cmd == ".tables") {
+        for (const std::string& name : db.catalog().TableNames()) {
+          std::printf("table %s\n", name.c_str());
+        }
+        for (const xnfdb::ViewDef* view : db.catalog().Views()) {
+          std::printf("view  %s%s\n", view->name.c_str(),
+                      view->is_xnf ? " (XNF)" : "");
+        }
+      } else if (cmd == ".explain") {
+        auto plan = db.Explain(arg);
+        std::printf("%s\n", plan.ok() ? plan.value().c_str()
+                                      : plan.status().ToString().c_str());
+      } else if (cmd == ".dot") {
+        auto compiled = xnfdb::CompileQueryString(db.catalog(), arg);
+        if (!compiled.ok()) {
+          std::printf("%s\n", compiled.status().ToString().c_str());
+        } else {
+          std::printf("%s", xnfdb::qgm::ToDot(*compiled.value().graph).c_str());
+        }
+      } else if (cmd == ".save") {
+        Status s = xnfdb::SaveCatalogToFile(db.catalog(), arg);
+        std::printf("%s\n", s.ToString().c_str());
+      } else if (cmd == ".open") {
+        Status s = xnfdb::LoadCatalogFromFile(arg, &db.catalog());
+        std::printf("%s\n", s.ToString().c_str());
+      } else {
+        std::printf("unknown meta command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+
+    std::string statement = buffer;
+    buffer.clear();
+    if (IsQueryText(statement)) {
+      auto result = db.Query(statement.substr(0, statement.rfind(';')));
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintResult(result.value());
+      }
+      continue;
+    }
+    auto outcome = db.Execute(statement.substr(0, statement.rfind(';')));
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+    } else if (outcome.value().kind == Database::Outcome::Kind::kAffected) {
+      std::printf("ok (%zu row%s affected)\n", outcome.value().affected,
+                  outcome.value().affected == 1 ? "" : "s");
+    } else if (outcome.value().kind == Database::Outcome::Kind::kRows) {
+      PrintResult(outcome.value().result);
+    } else {
+      std::printf("ok\n");
+    }
+  }
+  return 0;
+}

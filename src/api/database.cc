@@ -1,0 +1,328 @@
+#include "api/database.h"
+
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "parser/parser.h"
+#include "semantics/builder.h"
+#include "xnf/fixpoint.h"
+#include "xnf/op_count.h"
+
+namespace xnfdb {
+
+namespace {
+
+// Compiles expressions against one base table so they can be evaluated per
+// row (used by UPDATE/DELETE for the WHERE predicate and SET right sides).
+// Owns the scratch graph the expressions live in.
+class RowContext {
+ public:
+  static Result<std::unique_ptr<RowContext>> Create(const Table& table,
+                                                    const ast::Expr* where) {
+    auto rc = std::unique_ptr<RowContext>(new RowContext());
+    qgm::Box* base = rc->graph_.NewBox(qgm::BoxKind::kBaseTable, table.name());
+    base->table_name = table.name();
+    base->base_schema = table.schema();
+    rc->sel_ = rc->graph_.NewBox(qgm::BoxKind::kSelect, "where");
+    int q = qgm::AddQuant(&rc->graph_, rc->sel_, qgm::QuantKind::kForeach,
+                          base->id, table.name());
+    rc->layout_.Add(q, 0, table.schema().size());
+    if (where != nullptr) {
+      XNFDB_ASSIGN_OR_RETURN(rc->expr_,
+                             TranslateExprForBox(rc->graph_, *rc->sel_, *where));
+    }
+    return rc;
+  }
+
+  // True if the row satisfies the predicate (always true without one).
+  Result<bool> Matches(const Tuple& row) const {
+    if (expr_ == nullptr) return true;
+    return EvalPredicate(*expr_, layout_, row);
+  }
+
+  // Compiles a value expression (may reference the table's columns).
+  Result<qgm::ExprPtr> Translate(const ast::Expr& e) const {
+    return TranslateExprForBox(graph_, *sel_, e);
+  }
+
+  Result<Value> Eval(const qgm::Expr& e, const Tuple& row) const {
+    return EvalExpr(e, layout_, row);
+  }
+
+ private:
+  RowContext() = default;
+  qgm::QueryGraph graph_;
+  qgm::Box* sel_ = nullptr;
+  Layout layout_;
+  qgm::ExprPtr expr_;
+};
+
+// Evaluates a FROM-less scalar expression (INSERT values, SET right sides
+// without column references).
+Result<Value> EvalLiteralExpr(const ast::Expr& e) {
+  switch (e.kind) {
+    case ast::Expr::Kind::kLiteral:
+      return static_cast<const ast::Literal&>(e).value;
+    case ast::Expr::Kind::kUnary: {
+      const auto& u = static_cast<const ast::Unary&>(e);
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalLiteralExpr(*u.operand));
+      if (u.op == "-") {
+        if (v.type() == DataType::kInt) return Value(-v.AsInt());
+        if (v.type() == DataType::kDouble) return Value(-v.AsDouble());
+      }
+      return Status::InvalidArgument("non-constant expression");
+    }
+    case ast::Expr::Kind::kBinary: {
+      const auto& b = static_cast<const ast::Binary&>(e);
+      XNFDB_ASSIGN_OR_RETURN(Value l, EvalLiteralExpr(*b.lhs));
+      XNFDB_ASSIGN_OR_RETURN(Value r, EvalLiteralExpr(*b.rhs));
+      if (b.op == "+") return Value::Add(l, r);
+      if (b.op == "-") return Value::Sub(l, r);
+      if (b.op == "*") return Value::Mul(l, r);
+      if (b.op == "/") return Value::Div(l, r);
+      return Status::InvalidArgument("non-constant expression");
+    }
+    default:
+      return Status::InvalidArgument(
+          "expected a constant expression in this context");
+  }
+}
+
+}  // namespace
+
+Result<Database::Outcome> Database::Execute(const std::string& sql) {
+  CountServerCall();
+  XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatement(sql));
+  Outcome outcome;
+  XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
+  return outcome;
+}
+
+Result<size_t> Database::ExecuteScript(const std::string& script) {
+  CountServerCall();
+  XNFDB_ASSIGN_OR_RETURN(std::vector<ast::StatementPtr> stmts,
+                         ParseScript(script));
+  for (const ast::StatementPtr& stmt : stmts) {
+    Outcome outcome;
+    XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
+  }
+  return stmts.size();
+}
+
+Result<QueryResult> Database::Query(const std::string& text,
+                                    const CompileOptions& copts,
+                                    const ExecOptions& eopts) {
+  CountServerCall();
+  XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileQueryString(catalog_, text, copts));
+  if (compiled.needs_fixpoint) {
+    return ExecuteXnfFixpoint(catalog_, *compiled.graph, eopts);
+  }
+  return ExecuteGraph(catalog_, *compiled.graph, eopts);
+}
+
+Result<std::string> Database::Explain(const std::string& text,
+                                       const CompileOptions& copts,
+                                       const ExecOptions& eopts) {
+  XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileQueryString(catalog_, text, copts));
+  std::string out;
+  out += "rewrite: " + compiled.rewrite_stats.ToString() + "\n";
+  OpCounts counts = CountOps(*compiled.graph);
+  out += "operations: " + counts.ToString() + "\n";
+  if (compiled.needs_fixpoint) {
+    out += "strategy: recursive CO — fixpoint evaluator over the XNF "
+           "graph\n";
+    out += compiled.graph->ToString();
+    return out;
+  }
+  const qgm::Box* top = compiled.graph->box(compiled.graph->top_box_id());
+  ExecStats stats;
+  Planner planner(&catalog_, compiled.graph.get(), eopts.plan, &stats);
+  for (const qgm::TopOutput& output : top->outputs) {
+    out += "output " + output.name +
+           (output.is_connection ? " [connection]" : "") + ":\n";
+    XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, planner.BoxIterator(output.box_id));
+    op->Explain(1, &out);
+  }
+  return out;
+}
+
+Result<QueryResult> Database::QueryXnf(const ast::XnfQuery& query,
+                                       const CompileOptions& copts,
+                                       const ExecOptions& eopts) {
+  CountServerCall();
+  XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileXnf(catalog_, query, copts));
+  if (compiled.needs_fixpoint) {
+    return ExecuteXnfFixpoint(catalog_, *compiled.graph, eopts);
+  }
+  return ExecuteGraph(catalog_, *compiled.graph, eopts);
+}
+
+Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
+  using Kind = ast::Statement::Kind;
+  switch (stmt.kind) {
+    case Kind::kSelect: {
+      const auto& s = static_cast<const ast::SelectStatement&>(stmt);
+      XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                             CompileSelect(catalog_, *s.select));
+      XNFDB_ASSIGN_OR_RETURN(outcome->result,
+                             ExecuteGraph(catalog_, *compiled.graph));
+      outcome->kind = Outcome::Kind::kRows;
+      return Status::Ok();
+    }
+    case Kind::kXnfQuery: {
+      const auto& s = static_cast<const ast::XnfStatement&>(stmt);
+      XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                             CompileXnf(catalog_, *s.query));
+      if (compiled.needs_fixpoint) {
+        XNFDB_ASSIGN_OR_RETURN(outcome->result,
+                               ExecuteXnfFixpoint(catalog_, *compiled.graph));
+      } else {
+        XNFDB_ASSIGN_OR_RETURN(outcome->result,
+                               ExecuteGraph(catalog_, *compiled.graph));
+      }
+      outcome->kind = Outcome::Kind::kRows;
+      return Status::Ok();
+    }
+    case Kind::kCreateTable:
+      return RunCreateTable(
+          static_cast<const ast::CreateTableStatement&>(stmt));
+    case Kind::kCreateView: {
+      const auto& s = static_cast<const ast::CreateViewStatement&>(stmt);
+      // Validate by compiling against the current catalog before storing.
+      if (s.is_xnf) {
+        XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                               CompileXnf(catalog_, *s.xnf));
+        (void)compiled;
+      } else {
+        XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                               CompileSelect(catalog_, *s.select));
+        (void)compiled;
+      }
+      ViewDef def;
+      def.name = s.name;
+      def.definition = s.definition_text;
+      def.is_xnf = s.is_xnf;
+      return catalog_.CreateView(std::move(def));
+    }
+    case Kind::kCreateIndex: {
+      const auto& s = static_cast<const ast::CreateIndexStatement&>(stmt);
+      XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(s.table));
+      return s.ordered ? table->CreateOrderedIndex(s.column)
+                       : table->CreateIndex(s.column);
+    }
+    case Kind::kInsert:
+      return RunInsert(static_cast<const ast::InsertStatement&>(stmt),
+                       outcome);
+    case Kind::kUpdate:
+      return RunUpdate(static_cast<const ast::UpdateStatement&>(stmt),
+                       outcome);
+    case Kind::kDelete:
+      return RunDelete(static_cast<const ast::DeleteStatement&>(stmt),
+                       outcome);
+    case Kind::kDropTable:
+      return catalog_.DropTable(
+          static_cast<const ast::DropStatement&>(stmt).name);
+    case Kind::kDropView:
+      return catalog_.DropView(
+          static_cast<const ast::DropStatement&>(stmt).name);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Status Database::RunCreateTable(const ast::CreateTableStatement& stmt) {
+  XNFDB_ASSIGN_OR_RETURN(
+      Table * table, catalog_.CreateTable(stmt.name, Schema(stmt.columns)));
+  (void)table;
+  if (!stmt.primary_key.empty()) {
+    XNFDB_RETURN_IF_ERROR(
+        catalog_.DeclarePrimaryKey(stmt.name, stmt.primary_key));
+  }
+  for (const ast::ForeignKeyClause& fk : stmt.foreign_keys) {
+    ForeignKey key;
+    key.table = stmt.name;
+    key.column = fk.column;
+    key.ref_table = fk.ref_table;
+    key.ref_column = fk.ref_column;
+    XNFDB_RETURN_IF_ERROR(catalog_.DeclareForeignKey(std::move(key)));
+  }
+  return Status::Ok();
+}
+
+Status Database::RunInsert(const ast::InsertStatement& stmt,
+                           Outcome* outcome) {
+  XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  size_t inserted = 0;
+  for (const std::vector<ast::ExprPtr>& row_exprs : stmt.rows) {
+    Tuple row;
+    row.reserve(row_exprs.size());
+    for (const ast::ExprPtr& e : row_exprs) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalLiteralExpr(*e));
+      row.push_back(std::move(v));
+    }
+    XNFDB_ASSIGN_OR_RETURN(Rid rid, table->Insert(std::move(row)));
+    (void)rid;
+    ++inserted;
+  }
+  outcome->kind = Outcome::Kind::kAffected;
+  outcome->affected = inserted;
+  return Status::Ok();
+}
+
+Status Database::RunUpdate(const ast::UpdateStatement& stmt,
+                           Outcome* outcome) {
+  XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  XNFDB_ASSIGN_OR_RETURN(auto ctx,
+                         RowContext::Create(*table, stmt.where.get()));
+  // Resolve assignment targets and compile right-hand sides (they may
+  // reference the row being updated, e.g. SET SAL = SAL * 2).
+  std::vector<std::pair<int, qgm::ExprPtr>> sets;
+  for (const auto& [col, expr] : stmt.assignments) {
+    XNFDB_ASSIGN_OR_RETURN(
+        int idx, table->schema().ResolveColumn(col, "table " + table->name()));
+    XNFDB_ASSIGN_OR_RETURN(qgm::ExprPtr compiled, ctx->Translate(*expr));
+    sets.emplace_back(idx, std::move(compiled));
+  }
+  // Collect matching RIDs first so updates do not affect the scan.
+  std::vector<Rid> matches;
+  for (Rid rid = 0; rid < table->rid_bound(); ++rid) {
+    if (!table->IsLive(rid)) continue;
+    XNFDB_ASSIGN_OR_RETURN(bool m, ctx->Matches(table->Get(rid)));
+    if (m) matches.push_back(rid);
+  }
+  for (Rid rid : matches) {
+    Tuple row = table->Get(rid);
+    Tuple updated = row;
+    for (const auto& [idx, expr] : sets) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, ctx->Eval(*expr, row));
+      updated[idx] = std::move(v);
+    }
+    XNFDB_RETURN_IF_ERROR(table->Update(rid, std::move(updated)));
+  }
+  outcome->kind = Outcome::Kind::kAffected;
+  outcome->affected = matches.size();
+  return Status::Ok();
+}
+
+Status Database::RunDelete(const ast::DeleteStatement& stmt,
+                           Outcome* outcome) {
+  XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  XNFDB_ASSIGN_OR_RETURN(auto ctx,
+                         RowContext::Create(*table, stmt.where.get()));
+  std::vector<Rid> matches;
+  for (Rid rid = 0; rid < table->rid_bound(); ++rid) {
+    if (!table->IsLive(rid)) continue;
+    XNFDB_ASSIGN_OR_RETURN(bool m, ctx->Matches(table->Get(rid)));
+    if (m) matches.push_back(rid);
+  }
+  for (Rid rid : matches) {
+    XNFDB_RETURN_IF_ERROR(table->Delete(rid));
+  }
+  outcome->kind = Outcome::Kind::kAffected;
+  outcome->affected = matches.size();
+  return Status::Ok();
+}
+
+}  // namespace xnfdb

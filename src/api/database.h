@@ -1,0 +1,88 @@
+// The embedded database facade: one object owning the catalog and providing
+// statement execution, query compilation+evaluation, and the server-call
+// accounting used to model the workstation/server boundary of Fig. 7.
+//
+// Usage:
+//   Database db;
+//   db.ExecuteScript("CREATE TABLE DEPT (DNO INTEGER, ...); INSERT ...;");
+//   auto result = db.Query("OUT OF xdept AS (SELECT ...) ... TAKE *");
+
+#ifndef XNFDB_API_DATABASE_H_
+#define XNFDB_API_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "parser/ast.h"
+#include "storage/catalog.h"
+#include "xnf/compiler.h"
+
+namespace xnfdb {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // Outcome of one statement.
+  struct Outcome {
+    enum class Kind { kNone, kRows, kAffected };
+    Kind kind = Kind::kNone;
+    QueryResult result;   // kRows
+    size_t affected = 0;  // kAffected (rows inserted/updated/deleted)
+  };
+
+  // Parses and executes a single statement of any kind.
+  Result<Outcome> Execute(const std::string& sql);
+
+  // Executes a ';'-separated script; returns the number of statements run.
+  Result<size_t> ExecuteScript(const std::string& script);
+
+  // Compiles and runs a query: a SELECT, an OUT OF query, or the name of a
+  // stored (SQL or XNF) view. Recursive COs are routed to the fixpoint
+  // evaluator automatically.
+  Result<QueryResult> Query(const std::string& text,
+                            const CompileOptions& copts = {},
+                            const ExecOptions& eopts = {});
+
+  // Runs an already parsed XNF query.
+  Result<QueryResult> QueryXnf(const ast::XnfQuery& query,
+                               const CompileOptions& copts = {},
+                               const ExecOptions& eopts = {});
+
+  // EXPLAIN: compiles `text` and renders the rewrite statistics, operation
+  // counts, and the physical plan of every output stream — without
+  // executing the query.
+  Result<std::string> Explain(const std::string& text,
+                              const CompileOptions& copts = {},
+                              const ExecOptions& eopts = {});
+
+  // --- client/server boundary model (Sect. 5.1) ---------------------------
+  // Every Execute/Query counts one server call; per-tuple cursor fetches
+  // (see FetchAll) count one call per tuple, modelling the traditional
+  // "one tuple at a time" interface.
+  int64_t server_calls() const { return server_calls_; }
+  void ResetServerCalls() { server_calls_ = 0; }
+  void CountServerCall(int64_t n = 1) { server_calls_ += n; }
+
+ private:
+  Status RunStatement(const ast::Statement& stmt, Outcome* outcome);
+  Status RunCreateTable(const ast::CreateTableStatement& stmt);
+  Status RunInsert(const ast::InsertStatement& stmt, Outcome* outcome);
+  Status RunUpdate(const ast::UpdateStatement& stmt, Outcome* outcome);
+  Status RunDelete(const ast::DeleteStatement& stmt, Outcome* outcome);
+
+  Catalog catalog_;
+  int64_t server_calls_ = 0;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_API_DATABASE_H_

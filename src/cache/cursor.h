@@ -1,0 +1,98 @@
+// Cursors over the CO cache (paper Sect. 2 / 5.2).
+//
+// "XNF API provides two kinds of cursors that support navigation along the
+// tuples of a node table (independent cursors) as well as navigation from
+// parent to child tuples along relationship edges (dependent cursors)."
+//
+// Path expressions (Sect. 2) are evaluated over the cached structure:
+// "a path expression consists of a sequence of component tables (and
+// relationships) ... it denotes a subset of the tuples of its target table:
+// all these tuples are to be reachable from some (root) tuples through the
+// path defined."
+
+#ifndef XNFDB_CACHE_CURSOR_H_
+#define XNFDB_CACHE_CURSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/workspace.h"
+#include "common/status.h"
+
+namespace xnfdb {
+
+// Browses all live rows of one component table.
+class IndependentCursor {
+ public:
+  explicit IndependentCursor(ComponentTable* component)
+      : component_(component) {}
+
+  // Advances to the next live row; false at end.
+  bool Next();
+  CachedRow* row() const { return current_; }
+  void Reset() {
+    pos_ = 0;
+    current_ = nullptr;
+  }
+
+ private:
+  ComponentTable* component_;
+  size_t pos_ = 0;
+  CachedRow* current_ = nullptr;
+};
+
+// Navigates from an anchor row to its children (or parents) along one
+// relationship. Respects the workspace's swizzling mode: with swizzling the
+// hop is a pointer dereference; without it, a tuple-id hash lookup.
+class DependentCursor {
+ public:
+  enum class Direction { kChildren, kParents };
+
+  DependentCursor(Workspace* workspace, Relationship* relationship,
+                  const CachedRow* anchor,
+                  Direction direction = Direction::kChildren)
+      : workspace_(workspace),
+        relationship_(relationship),
+        direction_(direction) {
+    Rebind(anchor);
+  }
+
+  bool Next();
+  CachedRow* row() const { return current_; }
+  void Reset() {
+    pos_ = 0;
+    current_ = nullptr;
+  }
+  // Rebinds to a new anchor, restarting iteration. Cheap; intended for hot
+  // traversal loops.
+  void Rebind(const CachedRow* anchor);
+
+ private:
+  Workspace* workspace_;
+  Relationship* relationship_;
+  Direction direction_;
+  const CachedRow* anchor_ = nullptr;
+  size_t pos_ = 0;
+  CachedRow* current_ = nullptr;
+
+  // Resolved per Rebind:
+  const std::vector<CachedRow*>* swizzled_ = nullptr;
+  const std::vector<TupleId>* tids_ = nullptr;
+  ComponentTable* tid_component_ = nullptr;  // unswizzled child/parent comp
+};
+
+// Evaluates a dotted path expression starting with a component name, e.g.
+// "XDEPT.EMPLOYMENT.XEMP.EMPPROPERTY.XSKILLS". Returns the distinct target
+// rows reachable from all rows of the leading component.
+Result<std::vector<CachedRow*>> EvalPath(Workspace* workspace,
+                                         const std::string& path);
+
+// Same, but anchored at one starting row; `path` must begin with a
+// relationship name ("EMPLOYMENT.XEMP...").
+Result<std::vector<CachedRow*>> EvalPathFrom(Workspace* workspace,
+                                             CachedRow* start,
+                                             const std::string& path);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_CACHE_CURSOR_H_

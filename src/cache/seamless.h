@@ -1,0 +1,148 @@
+// The seamless C++ interface (paper Sect. 5.2 / 6): XNF "allows the cache
+// to be stored in C++ structures, allowing seamless interface between
+// applications and the data in the cache ... a technique, similar to C++
+// templates, that provides generic XNF cursor services independent of the
+// data type of the nodes or relationships."
+//
+// `ObjectSet<T>` is the container class holding all instances of a
+// component bound to a user-defined C++ type; `XCursor<T>` is the generic
+// typed cursor over it. Relationship members (e.g. a `Dept*` inside `Emp`)
+// are wired with `LinkMembers`.
+//
+// Example:
+//   struct Dept { int64_t dno; std::string name; std::vector<Emp*> emps; };
+//   struct Emp  { int64_t eno; std::string name; Dept* dept = nullptr; };
+//
+//   ObjectSet<Dept> depts;
+//   depts.Load(ws, "XDEPT", [](const CachedRow& r, Dept* d) {
+//     d->dno = r.values[0].AsInt(); d->name = r.values[1].AsString();
+//   });
+//   ObjectSet<Emp> emps; emps.Load(ws, "XEMP", ...);
+//   LinkMembers(ws, "EMPLOYMENT", &depts, &emps,
+//               [](Dept* d, Emp* e) { d->emps.push_back(e); e->dept = d; });
+
+#ifndef XNFDB_CACHE_SEAMLESS_H_
+#define XNFDB_CACHE_SEAMLESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cursor.h"
+#include "cache/workspace.h"
+#include "common/status.h"
+
+namespace xnfdb {
+
+// Container of all instances of one component mapped onto `T`.
+template <typename T>
+class ObjectSet {
+ public:
+  // Fills `T` from a cached row.
+  using Binder = std::function<void(const CachedRow&, T*)>;
+
+  // Materializes one `T` per live row of `component_name`.
+  Status Load(Workspace* workspace, const std::string& component_name,
+              const Binder& binder) {
+    Result<ComponentTable*> comp = workspace->component(component_name);
+    if (!comp.ok()) return comp.status();
+    component_ = comp.value();
+    objects_.clear();
+    by_row_.clear();
+    IndependentCursor cursor(component_);
+    while (cursor.Next()) {
+      auto obj = std::make_unique<T>();
+      binder(*cursor.row(), obj.get());
+      by_row_[cursor.row()] = obj.get();
+      objects_.push_back(std::move(obj));
+    }
+    return Status::Ok();
+  }
+
+  size_t size() const { return objects_.size(); }
+  T* object(size_t i) { return objects_[i].get(); }
+  const T* object(size_t i) const { return objects_[i].get(); }
+
+  // The object materialized for `row`, or nullptr.
+  T* ForRow(const CachedRow* row) const {
+    auto it = by_row_.find(row);
+    return it == by_row_.end() ? nullptr : it->second;
+  }
+
+  ComponentTable* component() const { return component_; }
+
+  // Iteration support (range-for over T&).
+  class iterator {
+   public:
+    iterator(typename std::vector<std::unique_ptr<T>>::iterator it)
+        : it_(it) {}
+    T& operator*() { return **it_; }
+    iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    bool operator!=(const iterator& other) const { return it_ != other.it_; }
+
+   private:
+    typename std::vector<std::unique_ptr<T>>::iterator it_;
+  };
+  iterator begin() { return iterator(objects_.begin()); }
+  iterator end() { return iterator(objects_.end()); }
+
+ private:
+  ComponentTable* component_ = nullptr;
+  std::vector<std::unique_ptr<T>> objects_;
+  std::unordered_map<const CachedRow*, T*> by_row_;
+};
+
+// Wires relationship pointers between two object sets: for every connection
+// of `relationship_name`, `link(parent_obj, child_obj)` is invoked once.
+template <typename Parent, typename Child>
+Status LinkMembers(Workspace* workspace, const std::string& relationship_name,
+                   ObjectSet<Parent>* parents, ObjectSet<Child>* children,
+                   const std::function<void(Parent*, Child*)>& link) {
+  Result<Relationship*> rel = workspace->relationship(relationship_name);
+  if (!rel.ok()) return rel.status();
+  for (size_t i = 0; i < rel.value()->size(); ++i) {
+    const CachedConnection* conn = rel.value()->connection(i);
+    if (conn->deleted) continue;
+    Parent* parent = parents->ForRow(conn->partners[0]);
+    for (size_t pi = 1; pi < conn->partners.size(); ++pi) {
+      Child* child = children->ForRow(conn->partners[pi]);
+      if (parent != nullptr && child != nullptr) link(parent, child);
+    }
+  }
+  return Status::Ok();
+}
+
+// Generic typed cursor over an ObjectSet (the XCursor of Sect. 5.2).
+template <typename T>
+class XCursor {
+ public:
+  explicit XCursor(ObjectSet<T>* set) : set_(set) {}
+
+  bool Next() {
+    if (pos_ >= set_->size()) {
+      current_ = nullptr;
+      return false;
+    }
+    current_ = set_->object(pos_++);
+    return true;
+  }
+  T* object() const { return current_; }
+  void Reset() {
+    pos_ = 0;
+    current_ = nullptr;
+  }
+
+ private:
+  ObjectSet<T>* set_;
+  size_t pos_ = 0;
+  T* current_ = nullptr;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_CACHE_SEAMLESS_H_

@@ -1,0 +1,219 @@
+#include "cache/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace xnfdb {
+
+namespace {
+
+constexpr char kMagic[] = "XNFCACHE 1";
+
+void WriteValue(std::ostream& out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      out << "N";
+      break;
+    case DataType::kInt:
+      out << "I " << v.AsInt();
+      break;
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.AsDouble();
+      out << "D " << os.str();
+      break;
+    }
+    case DataType::kString:
+      out << "S " << v.AsString().size() << " " << v.AsString();
+      break;
+    case DataType::kBool:
+      out << "B " << (v.AsBool() ? 1 : 0);
+      break;
+  }
+  out << "\n";
+}
+
+Result<Value> ReadValue(std::istream& in) {
+  std::string tag;
+  if (!(in >> tag)) return Status::IoError("unexpected end of cache file");
+  if (tag == "N") return Value::Null();
+  if (tag == "I") {
+    int64_t v;
+    in >> v;
+    return Value(v);
+  }
+  if (tag == "D") {
+    double v;
+    in >> v;
+    return Value(v);
+  }
+  if (tag == "B") {
+    int v;
+    in >> v;
+    return Value(v != 0);
+  }
+  if (tag == "S") {
+    size_t len;
+    in >> len;
+    in.get();  // the separating space
+    std::string s(len, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    return Value(std::move(s));
+  }
+  return Status::IoError("bad value tag '" + tag + "' in cache file");
+}
+
+}  // namespace
+
+// Friend of Workspace; performs the actual reconstruction.
+class CacheSerializer {
+ public:
+  static Status Save(const Workspace& ws, std::ostream& out) {
+    if (ws.HasPendingChanges()) {
+      return Status::InvalidArgument(
+          "workspace has pending changes; write back before saving");
+    }
+    out << kMagic << "\n";
+    out << "COMPONENTS " << ws.components_.size() << "\n";
+    for (const auto& comp : ws.components_) {
+      out << "COMPONENT " << comp->name() << " " << comp->schema().size()
+          << " " << comp->size() << "\n";
+      for (const Column& col : comp->schema().columns()) {
+        out << "COL " << col.name << " " << static_cast<int>(col.type)
+            << "\n";
+      }
+      for (size_t i = 0; i < comp->size(); ++i) {
+        const CachedRow* row = comp->row(i);
+        out << "ROW " << row->tid << "\n";
+        for (const Value& v : row->values) WriteValue(out, v);
+      }
+    }
+    out << "RELATIONSHIPS " << ws.relationships_.size() << "\n";
+    for (const auto& rel : ws.relationships_) {
+      out << "RELATIONSHIP " << rel->name() << " "
+          << rel->partner_names().size() << " " << rel->size() << "\n";
+      for (const std::string& p : rel->partner_names()) {
+        out << "PARTNER " << p << "\n";
+      }
+      for (size_t i = 0; i < rel->size(); ++i) {
+        const CachedConnection* conn = rel->connection(i);
+        out << "CONN";
+        for (TupleId tid : conn->partner_tids) out << " " << tid;
+        out << "\n";
+      }
+    }
+    out << "END\n";
+    return out.good() ? Status::Ok()
+                      : Status::IoError("write to cache stream failed");
+  }
+
+  static Result<std::unique_ptr<Workspace>> Load(
+      std::istream& in, const WorkspaceOptions& options) {
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) {
+      return Status::IoError("bad cache file magic");
+    }
+    std::unique_ptr<Workspace> ws(new Workspace(options));
+    std::string word;
+    size_t n_components;
+    in >> word >> n_components;
+    if (word != "COMPONENTS") return Status::IoError("expected COMPONENTS");
+    for (size_t c = 0; c < n_components; ++c) {
+      std::string name;
+      size_t ncols, nrows;
+      in >> word >> name >> ncols >> nrows;
+      if (word != "COMPONENT") return Status::IoError("expected COMPONENT");
+      Schema schema;
+      for (size_t i = 0; i < ncols; ++i) {
+        std::string col_name;
+        int type;
+        in >> word >> col_name >> type;
+        if (word != "COL") return Status::IoError("expected COL");
+        schema.AddColumn(Column{col_name, static_cast<DataType>(type)});
+      }
+      auto comp = std::make_unique<ComponentTable>(
+          name, std::move(schema), static_cast<int>(ws->components_.size()));
+      for (size_t r = 0; r < nrows; ++r) {
+        TupleId tid;
+        in >> word >> tid;
+        if (word != "ROW") return Status::IoError("expected ROW");
+        Tuple values;
+        values.reserve(ncols);
+        for (size_t i = 0; i < ncols; ++i) {
+          XNFDB_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+          values.push_back(std::move(v));
+        }
+        comp->AddRow(tid, std::move(values));
+      }
+      ws->components_.push_back(std::move(comp));
+    }
+    size_t n_rels;
+    in >> word >> n_rels;
+    if (word != "RELATIONSHIPS") return Status::IoError("expected RELATIONSHIPS");
+    struct PendingRel {
+      std::string name;
+      std::vector<std::string> partners;
+      std::vector<std::vector<TupleId>> conns;
+    };
+    std::vector<PendingRel> pending;
+    for (size_t r = 0; r < n_rels; ++r) {
+      PendingRel p;
+      size_t n_partners, n_conns;
+      in >> word >> p.name >> n_partners >> n_conns;
+      if (word != "RELATIONSHIP") return Status::IoError("expected RELATIONSHIP");
+      for (size_t i = 0; i < n_partners; ++i) {
+        std::string partner;
+        in >> word >> partner;
+        if (word != "PARTNER") return Status::IoError("expected PARTNER");
+        p.partners.push_back(std::move(partner));
+      }
+      for (size_t i = 0; i < n_conns; ++i) {
+        in >> word;
+        if (word != "CONN") return Status::IoError("expected CONN");
+        std::vector<TupleId> tids(n_partners);
+        for (TupleId& t : tids) in >> t;
+        p.conns.push_back(std::move(tids));
+      }
+      pending.push_back(std::move(p));
+    }
+    // Create all relationship containers first (adjacency vectors are
+    // indexed by relationship count), then resolve connections.
+    for (PendingRel& p : pending) {
+      ws->relationships_.push_back(std::make_unique<Relationship>(
+          p.name, p.partners, static_cast<int>(ws->relationships_.size())));
+    }
+    for (size_t r = 0; r < pending.size(); ++r) {
+      for (std::vector<TupleId>& tids : pending[r].conns) {
+        XNFDB_RETURN_IF_ERROR(ws->AddConnection(ws->relationships_[r].get(),
+                                                std::move(tids), false));
+      }
+    }
+    return ws;
+  }
+};
+
+Status SaveWorkspace(const Workspace& workspace, std::ostream& out) {
+  return CacheSerializer::Save(workspace, out);
+}
+
+Result<std::unique_ptr<Workspace>> LoadWorkspace(
+    std::istream& in, const WorkspaceOptions& options) {
+  return CacheSerializer::Load(in, options);
+}
+
+Status SaveWorkspaceToFile(const Workspace& workspace,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveWorkspace(workspace, out);
+}
+
+Result<std::unique_ptr<Workspace>> LoadWorkspaceFromFile(
+    const std::string& path, const WorkspaceOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadWorkspace(in, options);
+}
+
+}  // namespace xnfdb

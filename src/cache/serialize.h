@@ -1,0 +1,32 @@
+// Saving/restoring a workspace to/from disk (paper Sect. 5: "For long
+// transactions, XNF allows the cache to be stored on disk and retrieved
+// later, thereby protecting the cache from client machine's failure").
+//
+// The format is a line-oriented text format with length-prefixed strings,
+// versioned for forward compatibility. Pending (not written back) changes
+// are not serializable: save after WriteBack.
+
+#ifndef XNFDB_CACHE_SERIALIZE_H_
+#define XNFDB_CACHE_SERIALIZE_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cache/workspace.h"
+#include "common/status.h"
+
+namespace xnfdb {
+
+Status SaveWorkspace(const Workspace& workspace, std::ostream& out);
+Result<std::unique_ptr<Workspace>> LoadWorkspace(
+    std::istream& in, const WorkspaceOptions& options = {});
+
+Status SaveWorkspaceToFile(const Workspace& workspace,
+                           const std::string& path);
+Result<std::unique_ptr<Workspace>> LoadWorkspaceFromFile(
+    const std::string& path, const WorkspaceOptions& options = {});
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_CACHE_SERIALIZE_H_

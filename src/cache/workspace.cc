@@ -1,0 +1,290 @@
+#include "cache/workspace.h"
+
+#include <algorithm>
+
+namespace xnfdb {
+
+CachedRow* ComponentTable::FindByTid(TupleId tid) {
+  auto it = by_tid_.find(tid);
+  return it == by_tid_.end() ? nullptr : it->second;
+}
+
+CachedRow* ComponentTable::FindByValue(int col, const Value& v) {
+  for (auto& row : rows_) {
+    if (!row->deleted && row->values[col] == v) return row.get();
+  }
+  return nullptr;
+}
+
+size_t ComponentTable::LiveCount() const {
+  size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row->deleted) ++n;
+  }
+  return n;
+}
+
+CachedRow* ComponentTable::AddRow(TupleId tid, Tuple values) {
+  auto row = std::make_unique<CachedRow>();
+  row->tid = tid;
+  row->values = std::move(values);
+  row->component = this;
+  CachedRow* raw = row.get();
+  rows_.push_back(std::move(row));
+  by_tid_[tid] = raw;
+  return raw;
+}
+
+const std::vector<TupleId>* Relationship::ChildTids(TupleId parent_tid) const {
+  auto it = children_by_parent_.find(parent_tid);
+  return it == children_by_parent_.end() ? nullptr : &it->second;
+}
+
+const std::vector<TupleId>* Relationship::ParentTids(TupleId child_tid) const {
+  auto it = parents_by_child_.find(child_tid);
+  return it == parents_by_child_.end() ? nullptr : &it->second;
+}
+
+Result<std::unique_ptr<Workspace>> Workspace::Build(
+    const QueryResult& result, const WorkspaceOptions& options) {
+  std::unique_ptr<Workspace> ws(new Workspace(options));
+
+  // Containers first: components, then relationships (the stream may
+  // interleave arbitrarily, but descriptors are known up front).
+  std::vector<int> output_to_component(result.outputs.size(), -1);
+  std::vector<int> output_to_relationship(result.outputs.size(), -1);
+  for (size_t i = 0; i < result.outputs.size(); ++i) {
+    const OutputDesc& desc = result.outputs[i];
+    if (!desc.is_connection) {
+      output_to_component[i] = static_cast<int>(ws->components_.size());
+      ws->components_.push_back(std::make_unique<ComponentTable>(
+          desc.name, desc.schema,
+          static_cast<int>(ws->components_.size())));
+    }
+  }
+  for (size_t i = 0; i < result.outputs.size(); ++i) {
+    const OutputDesc& desc = result.outputs[i];
+    if (desc.is_connection) {
+      output_to_relationship[i] = static_cast<int>(ws->relationships_.size());
+      ws->relationships_.push_back(std::make_unique<Relationship>(
+          desc.name, desc.partner_names,
+          static_cast<int>(ws->relationships_.size())));
+    }
+  }
+
+  // Load the stream. Connections may arrive before their partner rows (the
+  // server delivers tuples "whenever available", Sect. 5.1), so connection
+  // resolution is deferred to a second pass.
+  std::vector<std::pair<int, std::vector<TupleId>>> pending_connections;
+  for (const StreamItem& item : result.stream) {
+    if (item.kind == StreamItem::Kind::kRow) {
+      int ci = output_to_component[item.output];
+      if (ci < 0) {
+        return Status::Internal("row item on a connection output");
+      }
+      ws->components_[ci]->AddRow(item.tid, item.values);
+    } else {
+      int ri = output_to_relationship[item.output];
+      if (ri < 0) {
+        return Status::Internal("connection item on a component output");
+      }
+      pending_connections.emplace_back(ri, item.tids);
+    }
+  }
+  for (auto& [ri, tids] : pending_connections) {
+    XNFDB_RETURN_IF_ERROR(ws->AddConnection(ws->relationships_[ri].get(),
+                                            std::move(tids),
+                                            /*pending_insert=*/false));
+  }
+  return ws;
+}
+
+Status Workspace::AddConnection(Relationship* rel, std::vector<TupleId> tids,
+                                bool pending_insert) {
+  if (tids.size() != rel->partner_names().size()) {
+    return Status::Internal("connection arity mismatch in relationship " +
+                            rel->name());
+  }
+  auto conn = std::make_unique<CachedConnection>();
+  conn->partner_tids = tids;
+  conn->inserted = pending_insert;
+  // Resolve partner rows (swizzling: tids -> virtual-memory pointers).
+  for (size_t pi = 0; pi < tids.size(); ++pi) {
+    XNFDB_ASSIGN_OR_RETURN(ComponentTable * comp,
+                           component(rel->partner_names()[pi]));
+    CachedRow* row = comp->FindByTid(tids[pi]);
+    if (row == nullptr) {
+      return Status::Internal("dangling connection in relationship " +
+                              rel->name() + ": no row with tid " +
+                              std::to_string(tids[pi]) + " in component " +
+                              comp->name());
+    }
+    conn->partners.push_back(row);
+  }
+
+  // Adjacency: parent <-> each child partner.
+  CachedRow* parent = conn->partners[0];
+  size_t rel_count = relationships_.size();
+  auto ensure = [rel_count](std::vector<std::vector<CachedRow*>>* adj) {
+    if (adj->size() < rel_count) adj->resize(rel_count);
+  };
+  for (size_t pi = 1; pi < conn->partners.size(); ++pi) {
+    CachedRow* child = conn->partners[pi];
+    if (options_.swizzle) {
+      ensure(&parent->children);
+      ensure(&child->parents);
+      parent->children[rel->index()].push_back(child);
+      child->parents[rel->index()].push_back(parent);
+    }
+    rel->children_by_parent_[parent->tid].push_back(child->tid);
+    rel->parents_by_child_[child->tid].push_back(parent->tid);
+  }
+  rel->connections_.push_back(std::move(conn));
+  return Status::Ok();
+}
+
+Result<ComponentTable*> Workspace::component(const std::string& name) {
+  for (auto& c : components_) {
+    if (IdentEquals(c->name(), name)) return c.get();
+  }
+  return Status::NotFound("component " + name + " not in workspace");
+}
+
+Result<Relationship*> Workspace::relationship(const std::string& name) {
+  for (auto& r : relationships_) {
+    if (IdentEquals(r->name(), name)) return r.get();
+  }
+  return Status::NotFound("relationship " + name + " not in workspace");
+}
+
+Status Workspace::UpdateRow(CachedRow* row, int column, Value v) {
+  if (row->deleted) {
+    return Status::InvalidArgument("update of a deleted cached row");
+  }
+  if (column < 0 ||
+      static_cast<size_t>(column) >= row->component->schema().size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  if (!row->dirty && !row->inserted) {
+    row->original = row->values;
+    row->dirty = true;
+  }
+  row->values[column] = std::move(v);
+  return Status::Ok();
+}
+
+Result<CachedRow*> Workspace::InsertRow(const std::string& component_name,
+                                        Tuple values) {
+  XNFDB_ASSIGN_OR_RETURN(ComponentTable * comp, component(component_name));
+  XNFDB_RETURN_IF_ERROR(comp->schema().ValidateTuple(values));
+  CachedRow* row = comp->AddRow(next_local_tid_--, std::move(values));
+  row->inserted = true;
+  return row;
+}
+
+Status Workspace::DeleteRow(CachedRow* row) {
+  if (row->deleted) return Status::InvalidArgument("row already deleted");
+  row->deleted = true;
+  return Status::Ok();
+}
+
+Status Workspace::Connect(const std::string& relationship_name,
+                          CachedRow* parent, CachedRow* child) {
+  XNFDB_ASSIGN_OR_RETURN(Relationship * rel, relationship(relationship_name));
+  if (rel->partner_names().size() != 2) {
+    return Status::Unsupported("connect on n-ary relationship " +
+                               rel->name());
+  }
+  if (!IdentEquals(parent->component->name(), rel->partner_names()[0]) ||
+      !IdentEquals(child->component->name(), rel->partner_names()[1])) {
+    return Status::InvalidArgument(
+        "connect partners do not match relationship " + rel->name());
+  }
+  return AddConnection(rel, {parent->tid, child->tid},
+                       /*pending_insert=*/true);
+}
+
+Status Workspace::Disconnect(const std::string& relationship_name,
+                             CachedRow* parent, CachedRow* child) {
+  XNFDB_ASSIGN_OR_RETURN(Relationship * rel, relationship(relationship_name));
+  for (auto& conn : rel->connections_) {
+    if (conn->deleted) continue;
+    if (conn->partners.size() == 2 && conn->partners[0] == parent &&
+        conn->partners[1] == child) {
+      conn->deleted = true;
+      // Remove from adjacency so navigation reflects the local state.
+      if (options_.swizzle) {
+        auto& kids = parent->children[rel->index()];
+        kids.erase(std::remove(kids.begin(), kids.end(), child), kids.end());
+        auto& folks = child->parents[rel->index()];
+        folks.erase(std::remove(folks.begin(), folks.end(), parent),
+                    folks.end());
+      }
+      auto& ct = rel->children_by_parent_[parent->tid];
+      ct.erase(std::remove(ct.begin(), ct.end(), child->tid), ct.end());
+      auto& pt = rel->parents_by_child_[child->tid];
+      pt.erase(std::remove(pt.begin(), pt.end(), parent->tid), pt.end());
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no such connection in relationship " +
+                          rel->name());
+}
+
+const std::vector<CachedRow*>* Workspace::SwizzledChildren(
+    const CachedRow* parent, int rel) const {
+  if (static_cast<size_t>(rel) >= parent->children.size()) return nullptr;
+  return &parent->children[rel];
+}
+
+const std::vector<CachedRow*>* Workspace::SwizzledParents(
+    const CachedRow* child, int rel) const {
+  if (static_cast<size_t>(rel) >= child->parents.size()) return nullptr;
+  return &child->parents[rel];
+}
+
+bool Workspace::HasPendingChanges() const {
+  for (const auto& comp : components_) {
+    for (size_t i = 0; i < comp->size(); ++i) {
+      const CachedRow* row = comp->row(i);
+      if (row->dirty || row->inserted ||
+          (row->deleted && !row->deleted_synced)) {
+        return true;
+      }
+    }
+  }
+  for (const auto& rel : relationships_) {
+    for (size_t i = 0; i < rel->size(); ++i) {
+      const CachedConnection* conn = rel->connection(i);
+      if (conn->inserted || conn->deleted) return true;
+    }
+  }
+  return false;
+}
+
+void Workspace::ClearPendingChanges() {
+  for (auto& comp : components_) {
+    for (size_t i = 0; i < comp->size(); ++i) {
+      CachedRow* row = comp->row(i);
+      row->dirty = false;
+      row->inserted = false;
+      if (row->deleted) row->deleted_synced = true;
+      row->original.clear();
+    }
+  }
+  for (auto& rel : relationships_) {
+    // Written-back disconnects are locally gone; drop the tombstones.
+    // Connect marks are cleared (the connection is now stored).
+    auto& conns = rel->connections_;
+    for (auto it = conns.begin(); it != conns.end();) {
+      if ((*it)->deleted) {
+        it = conns.erase(it);
+      } else {
+        (*it)->inserted = false;
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace xnfdb

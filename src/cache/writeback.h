@@ -1,0 +1,97 @@
+// Write-back of local cache changes to the database server (paper Sect. 2
+// and 3: updates are made locally at the client and "later on transferred
+// back to the database server").
+//
+// Updatability follows the paper's rules:
+//  * component tables defined by a simple selection over one base table are
+//    updatable ("update of any portion of a base table can always be
+//    replaced with update of a view consisting of a proper selection over
+//    the base table"); join/aggregation/distinct views are not;
+//  * relationships "defined based on simple foreign keys or connect tables"
+//    support connect/disconnect: a foreign-key relationship translates to
+//    updating the child's FK column, a connect-table relationship (USING)
+//    translates to inserting/deleting rows of the connect table;
+//  * richer definitions are rejected with a diagnostic.
+
+#ifndef XNFDB_CACHE_WRITEBACK_H_
+#define XNFDB_CACHE_WRITEBACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "cache/workspace.h"
+#include "parser/ast.h"
+
+namespace xnfdb {
+
+// Updatability analysis result for one component table.
+struct ComponentPlan {
+  std::string component;
+  bool updatable = false;
+  std::string reason;  // set when !updatable
+
+  std::string base_table;
+  // cached column i -> base table column index (-1 impossible).
+  std::vector<int> column_map;
+  // Cached column carrying the base table's primary key, or -1 (then
+  // write-back predicates match on all original column values).
+  int key_cached_col = -1;
+};
+
+// Updatability analysis result for one relationship.
+struct RelationshipPlan {
+  enum class Kind { kNotUpdatable, kForeignKey, kConnectTable };
+
+  std::string relationship;
+  Kind kind = Kind::kNotUpdatable;
+  std::string reason;
+
+  // kForeignKey: UPDATE <child base> SET <fk col> = parent key.
+  std::string child_base;
+  std::string child_fk_column;      // base column name
+  int parent_key_cached_col = -1;   // cached col of the parent's key
+  int child_key_cached_col = -1;    // cached col identifying the child row
+  std::string child_key_base_column;
+
+  // kConnectTable: INSERT INTO / DELETE FROM <connect_table>.
+  std::string connect_table;
+  std::string ct_parent_column;  // connect-table column matching the parent
+  std::string ct_child_column;   // connect-table column matching the child
+  int ct_parent_cached_col = -1;  // cached col of parent providing the value
+  int ct_child_cached_col = -1;   // cached col of child providing the value
+};
+
+// Analyzes an XNF view definition against the catalog and applies pending
+// workspace changes by generating SQL statements.
+class WriteBackPlanner {
+ public:
+  // `definition` must outlive the planner.
+  WriteBackPlanner(Database* db, const ast::XnfQuery* definition)
+      : db_(db), definition_(definition) {}
+
+  // Analysis for one component/relationship of the cached workspace
+  // (the workspace supplies the projected schemas).
+  Result<ComponentPlan> AnalyzeComponent(const ComponentTable& component);
+  Result<RelationshipPlan> AnalyzeRelationship(const Relationship& rel,
+                                               Workspace* workspace);
+
+  // Applies all pending changes of `workspace`: inserts, updates, connects,
+  // disconnects, deletes — in that order. On success the workspace's
+  // pending marks are cleared. Returns the executed statements.
+  Result<std::vector<std::string>> Apply(Workspace* workspace);
+
+ private:
+  const ast::XnfDef* FindDef(const std::string& name) const;
+
+  Database* db_;
+  const ast::XnfQuery* definition_;
+};
+
+// Renders a Value as a SQL literal with proper string escaping.
+std::string SqlLiteral(const Value& v);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_CACHE_WRITEBACK_H_

@@ -1,0 +1,104 @@
+#include "cache/xnf_cache.h"
+
+#include "cache/serialize.h"
+#include "cache/writeback.h"
+#include "common/str_util.h"
+#include "parser/parser.h"
+#include "xnf/compiler.h"
+
+namespace xnfdb {
+
+Result<std::unique_ptr<ast::XnfQuery>> XNFCache::ResolveQuery(
+    Database* db, const std::string& query) {
+  std::string trimmed = Trim(query);
+  bool is_ident = !trimmed.empty();
+  for (char c : trimmed) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '_') is_ident = false;
+  }
+  if (is_ident && db->catalog().HasView(trimmed)) {
+    return LoadXnfView(db->catalog(), trimmed);
+  }
+  return ParseXnfQuery(query);
+}
+
+Result<std::unique_ptr<XNFCache>> XNFCache::Evaluate(Database* db,
+                                                     const std::string& query,
+                                                     const Options& options) {
+  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::XnfQuery> definition,
+                         ResolveQuery(db, query));
+  XNFDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      db->QueryXnf(*definition, options.compile, options.exec));
+  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<Workspace> workspace,
+                         Workspace::Build(result, options.workspace));
+  return std::unique_ptr<XNFCache>(new XNFCache(
+      db, std::move(definition), std::move(workspace), options));
+}
+
+Result<IndependentCursor> XNFCache::OpenCursor(const std::string& component) {
+  XNFDB_ASSIGN_OR_RETURN(ComponentTable * comp,
+                         workspace_->component(component));
+  return IndependentCursor(comp);
+}
+
+Result<DependentCursor> XNFCache::OpenDependentCursor(
+    const std::string& relationship, CachedRow* anchor,
+    DependentCursor::Direction direction) {
+  XNFDB_ASSIGN_OR_RETURN(Relationship * rel,
+                         workspace_->relationship(relationship));
+  return DependentCursor(workspace_.get(), rel, anchor, direction);
+}
+
+Result<std::vector<CachedRow*>> XNFCache::Path(const std::string& path) {
+  return EvalPath(workspace_.get(), path);
+}
+
+Status XNFCache::Update(CachedRow* row, const std::string& column, Value v) {
+  int col = row->component->schema().FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("column " + column + " not in component " +
+                            row->component->name());
+  }
+  return workspace_->UpdateRow(row, col, std::move(v));
+}
+
+Result<CachedRow*> XNFCache::Insert(const std::string& component,
+                                    Tuple values) {
+  return workspace_->InsertRow(component, std::move(values));
+}
+
+Result<std::vector<std::string>> XNFCache::WriteBack() {
+  WriteBackPlanner planner(db_, definition_.get());
+  return planner.Apply(workspace_.get());
+}
+
+Status XNFCache::Refresh() {
+  if (workspace_->HasPendingChanges()) {
+    return Status::InvalidArgument(
+        "refresh would lose pending changes; write back first");
+  }
+  XNFDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      db_->QueryXnf(*definition_, options_.compile, options_.exec));
+  XNFDB_ASSIGN_OR_RETURN(workspace_,
+                         Workspace::Build(result, options_.workspace));
+  return Status::Ok();
+}
+
+Status XNFCache::SaveTo(const std::string& path) {
+  return SaveWorkspaceToFile(*workspace_, path);
+}
+
+Result<std::unique_ptr<XNFCache>> XNFCache::LoadFrom(Database* db,
+                                                     const std::string& path,
+                                                     const std::string& query,
+                                                     const Options& options) {
+  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::XnfQuery> definition,
+                         ResolveQuery(db, query));
+  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<Workspace> workspace,
+                         LoadWorkspaceFromFile(path, options.workspace));
+  return std::unique_ptr<XNFCache>(new XNFCache(
+      db, std::move(definition), std::move(workspace), options));
+}
+
+}  // namespace xnfdb

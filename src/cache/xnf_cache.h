@@ -1,0 +1,99 @@
+// XNFCache: the client-side entry point of the XNF API (paper Sect. 5.2).
+//
+// "There is a public method, called evaluate, which can take an XNF query
+// as input and construct an instance of an XNFCache by sending a request to
+// the database server, loading the catalog component, and converting the
+// heterogeneous stream of tuples delivered by the server into the
+// main-memory representation. Access is provided through cursor objects."
+
+#ifndef XNFDB_CACHE_XNF_CACHE_H_
+#define XNFDB_CACHE_XNF_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "cache/cursor.h"
+#include "cache/workspace.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace xnfdb {
+
+class XNFCache {
+ public:
+  struct Options {
+    WorkspaceOptions workspace;
+    CompileOptions compile;
+    ExecOptions exec;
+  };
+
+  // Evaluates `query` — an OUT OF query or the name of a stored XNF view —
+  // against `db` and loads the result into a fresh cache. `db` must outlive
+  // the cache.
+  static Result<std::unique_ptr<XNFCache>> Evaluate(
+      Database* db, const std::string& query, const Options& options = {});
+
+  Workspace& workspace() { return *workspace_; }
+  const ast::XnfQuery& definition() const { return *definition_; }
+  Database* database() { return db_; }
+
+  // --- cursors --------------------------------------------------------------
+  Result<IndependentCursor> OpenCursor(const std::string& component);
+  Result<DependentCursor> OpenDependentCursor(
+      const std::string& relationship, CachedRow* anchor,
+      DependentCursor::Direction direction =
+          DependentCursor::Direction::kChildren);
+  // Path-expression navigation ("XDEPT.EMPLOYMENT.XEMP...").
+  Result<std::vector<CachedRow*>> Path(const std::string& path);
+
+  // --- updates --------------------------------------------------------------
+  // Local mutation helpers (delegating to the workspace), plus write-back.
+  Status Update(CachedRow* row, const std::string& column, Value v);
+  Result<CachedRow*> Insert(const std::string& component, Tuple values);
+  Status Delete(CachedRow* row) { return workspace_->DeleteRow(row); }
+  Status Connect(const std::string& relationship, CachedRow* parent,
+                 CachedRow* child) {
+    return workspace_->Connect(relationship, parent, child);
+  }
+  Status Disconnect(const std::string& relationship, CachedRow* parent,
+                    CachedRow* child) {
+    return workspace_->Disconnect(relationship, parent, child);
+  }
+
+  // Transfers pending local changes back to the server (Sect. 3). Returns
+  // the SQL statements that were executed.
+  Result<std::vector<std::string>> WriteBack();
+
+  // Re-evaluates the view, replacing the workspace (after write-back).
+  Status Refresh();
+
+  // --- persistence ----------------------------------------------------------
+  Status SaveTo(const std::string& path);
+  // Restores a cache saved with SaveTo. `query` must be the view the cache
+  // was built from (needed for write-back analysis).
+  static Result<std::unique_ptr<XNFCache>> LoadFrom(
+      Database* db, const std::string& path, const std::string& query,
+      const Options& options = {});
+
+ private:
+  XNFCache(Database* db, std::unique_ptr<ast::XnfQuery> definition,
+           std::unique_ptr<Workspace> workspace, Options options)
+      : db_(db),
+        definition_(std::move(definition)),
+        workspace_(std::move(workspace)),
+        options_(options) {}
+
+  static Result<std::unique_ptr<ast::XnfQuery>> ResolveQuery(
+      Database* db, const std::string& query);
+
+  Database* db_;
+  std::unique_ptr<ast::XnfQuery> definition_;
+  std::unique_ptr<Workspace> workspace_;
+  Options options_;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_CACHE_XNF_CACHE_H_

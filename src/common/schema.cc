@@ -1,0 +1,75 @@
+#include "common/schema.h"
+
+#include <cctype>
+
+namespace xnfdb {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToUpperIdent(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IdentEquals(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::ResolveColumn(const std::string& name,
+                                  const std::string& context) const {
+  int idx = FindColumn(name);
+  if (idx < 0) {
+    return Status::SemanticError("column '" + name + "' not found in " +
+                                 context);
+  }
+  return idx;
+}
+
+Status Schema::ValidateTuple(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& v = tuple[i];
+    if (v.is_null()) continue;
+    DataType want = columns_[i].type;
+    DataType have = v.type();
+    bool ok = have == want ||
+              (want == DataType::kDouble && have == DataType::kInt);
+    if (!ok) {
+      return Status::InvalidArgument(
+          "value " + v.ToString() + " has type " + DataTypeName(have) +
+          " but column '" + columns_[i].name + "' expects " +
+          DataTypeName(want));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += DataTypeName(columns_[i].type);
+  }
+  return s;
+}
+
+}  // namespace xnfdb

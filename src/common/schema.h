@@ -1,0 +1,62 @@
+// Column and Schema descriptions shared by the storage layer, the query
+// graph model, and the executor.
+
+#ifndef XNFDB_COMMON_SCHEMA_H_
+#define XNFDB_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace xnfdb {
+
+// One column of a table or derived stream.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+// An ordered list of columns. Lookup is case-insensitive, following SQL
+// identifier semantics (identifiers are normalized to upper case by the
+// lexer, but data values are not).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  // Index of `name` (case-insensitive), or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  // Like FindColumn but errors out with the table context in the message.
+  Result<int> ResolveColumn(const std::string& name,
+                            const std::string& context) const;
+
+  // Checks a tuple against this schema: arity and per-column type
+  // compatibility (NULL allowed anywhere; INT accepted for DOUBLE columns).
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  // "name TYPE, name TYPE, ..."
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// Case-insensitive string equality for SQL identifiers.
+bool IdentEquals(const std::string& a, const std::string& b);
+
+// Upper-cases ASCII identifiers.
+std::string ToUpperIdent(const std::string& s);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_SCHEMA_H_

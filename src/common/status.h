@@ -1,0 +1,140 @@
+// Error-handling primitives for xnfdb.
+//
+// The project does not use exceptions. Fallible operations return `Status`
+// (or `Result<T>` when they also produce a value). Both carry an error code
+// and a human-readable message.
+//
+// Example:
+//   Result<Table*> r = catalog.GetTable("EMP");
+//   if (!r.ok()) return r.status();
+//   Table* table = r.value();
+
+#ifndef XNFDB_COMMON_STATUS_H_
+#define XNFDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xnfdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kSemanticError,
+  kUnsupported,
+  kExecutionError,
+  kIoError,
+  kInternal,
+};
+
+// Returns a short human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// The outcome of a fallible operation: a code plus an optional message.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status SemanticError(std::string m) {
+    return Status(StatusCode::kSemanticError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status ExecutionError(std::string m) {
+    return Status(StatusCode::kExecutionError, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression, RocksDB/Abseil style.
+#define XNFDB_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::xnfdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns its status, otherwise
+// assigns the value to `lhs`. `lhs` must be a declaration or assignable.
+#define XNFDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  XNFDB_ASSIGN_OR_RETURN_IMPL(                     \
+      XNFDB_STATUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define XNFDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define XNFDB_STATUS_CONCAT(a, b) XNFDB_STATUS_CONCAT_IMPL(a, b)
+#define XNFDB_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_STATUS_H_

@@ -1,0 +1,239 @@
+#include "exec/executor.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+namespace xnfdb {
+
+int QueryResult::FindOutput(const std::string& name) const {
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (IdentEquals(outputs[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Tuple> QueryResult::RowsOf(int idx) const {
+  std::vector<Tuple> rows;
+  for (const StreamItem& item : stream) {
+    if (item.output == idx && item.kind == StreamItem::Kind::kRow) {
+      rows.push_back(item.values);
+    }
+  }
+  return rows;
+}
+
+size_t QueryResult::RowCount(int idx) const {
+  size_t n = 0;
+  for (const StreamItem& item : stream) {
+    if (item.output == idx && item.kind == StreamItem::Kind::kRow) ++n;
+  }
+  return n;
+}
+
+size_t QueryResult::ConnectionCount(int idx) const {
+  size_t n = 0;
+  for (const StreamItem& item : stream) {
+    if (item.output == idx && item.kind == StreamItem::Kind::kConnection) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Per-component tuple-id assignment with row deduplication (object sharing:
+// "if a component tuple is used multiple times within a view, then it
+// exists only once", Sect. 2).
+struct TidMap {
+  std::unordered_map<Tuple, TupleId, TupleHash, TupleEq> ids;
+  TupleId next = 0;
+
+  std::pair<TupleId, bool> Intern(const Tuple& row) {
+    auto [it, inserted] = ids.emplace(row, next);
+    if (inserted) ++next;
+    return {it->second, inserted};
+  }
+};
+
+Tuple ProjectCols(const Tuple& row, const std::vector<int>& cols) {
+  Tuple out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(row[c]);
+  return out;
+}
+
+// Runs `task(i)` for i in [0, n) on up to `workers` threads. Tasks must be
+// independent. Returns the first failure, if any.
+Status RunParallel(int n, int workers,
+                   const std::function<Status(int)>& task) {
+  if (workers <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) {
+      XNFDB_RETURN_IF_ERROR(task(i));
+    }
+    return Status::Ok();
+  }
+  std::atomic<int> next{0};
+  std::vector<Status> failures(n);
+  std::vector<std::thread> threads;
+  int nthreads = std::min(workers, n);
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&] {
+      while (true) {
+        int i = next.fetch_add(1);
+        if (i >= n) break;
+        failures[i] = task(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& s : failures) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteGraph(const Catalog& catalog,
+                                 const qgm::QueryGraph& graph,
+                                 const ExecOptions& options) {
+  if (graph.top_box_id() < 0) {
+    return Status::Internal("graph has no Top box");
+  }
+  const qgm::Box* top = graph.box(graph.top_box_id());
+  QueryResult result;
+  Planner planner(&catalog, &graph, options.plan, &result.stats);
+
+  // Output descriptors.
+  for (const qgm::TopOutput& out : top->outputs) {
+    OutputDesc desc;
+    desc.name = out.name;
+    desc.is_connection = out.is_connection;
+    if (!out.is_connection) {
+      const qgm::Box* box = graph.box(out.box_id);
+      std::vector<int> cols = out.cols;
+      if (cols.empty()) {
+        for (size_t i = 0; i < box->HeadArity(); ++i) {
+          cols.push_back(static_cast<int>(i));
+        }
+      }
+      for (int c : cols) {
+        Column col;
+        col.name = box->HeadName(c);
+        Result<DataType> t = graph.HeadType(out.box_id, c);
+        col.type = t.ok() ? t.value() : DataType::kNull;
+        desc.schema.AddColumn(std::move(col));
+      }
+    } else {
+      desc.partner_names = out.partner_names;
+    }
+    result.outputs.push_back(std::move(desc));
+  }
+
+  int n_outputs = static_cast<int>(top->outputs.size());
+  std::map<std::string, int> component_output;  // name -> output index
+  std::map<std::string, TidMap> tids;  // component name -> tid map
+  for (int i = 0; i < n_outputs; ++i) {
+    if (!top->outputs[i].is_connection) {
+      component_output[top->outputs[i].name] = i;
+      tids[top->outputs[i].name];  // pre-create: stable under parallel pass
+    }
+  }
+  std::vector<std::vector<StreamItem>> buffers(n_outputs);
+
+  // Pass 1: component streams (tuple ids assigned; XNF components dedup).
+  // Each output owns its buffer and tid map, so outputs evaluate in
+  // parallel when requested; spool builds are serialized by the planner and
+  // shared across workers.
+  XNFDB_RETURN_IF_ERROR(RunParallel(
+      n_outputs, options.parallel_workers, [&](int oi) -> Status {
+        const qgm::TopOutput& out = top->outputs[oi];
+        if (out.is_connection) return Status::Ok();
+        XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, planner.BoxIterator(out.box_id));
+        XNFDB_RETURN_IF_ERROR(op->Open());
+        TidMap& map = tids[out.name];
+        Tuple row;
+        while (true) {
+          XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+          if (!more) break;
+          Tuple projected =
+              out.cols.empty() ? row : ProjectCols(row, out.cols);
+          StreamItem item;
+          item.kind = StreamItem::Kind::kRow;
+          item.output = oi;
+          if (out.xnf_component) {
+            auto [tid, inserted] = map.Intern(projected);
+            if (!inserted) continue;  // object sharing: emit each row once
+            item.tid = tid;
+          } else {
+            item.tid = map.next++;
+          }
+          item.values = std::move(projected);
+          ++result.stats.rows_output;
+          buffers[oi].push_back(std::move(item));
+        }
+        op->Close();
+        return Status::Ok();
+      }));
+
+  // Pass 2: connection streams (tid maps are read-only now).
+  XNFDB_RETURN_IF_ERROR(RunParallel(
+      n_outputs, options.parallel_workers, [&](int oi) -> Status {
+        const qgm::TopOutput& out = top->outputs[oi];
+        if (!out.is_connection) return Status::Ok();
+        XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, planner.BoxIterator(out.box_id));
+        XNFDB_RETURN_IF_ERROR(op->Open());
+        std::set<std::vector<TupleId>> seen;
+        Tuple row;
+        while (true) {
+          XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+          if (!more) break;
+          std::vector<TupleId> partner_tids;
+          bool valid = true;
+          for (size_t pi = 0; pi < out.partner_names.size(); ++pi) {
+            const std::string& partner = out.partner_names[pi];
+            auto cit = component_output.find(partner);
+            if (cit == component_output.end()) {
+              return Status::Internal("connection partner '" + partner +
+                                      "' is not an output component");
+            }
+            Tuple key = ProjectCols(row, out.partner_cols[pi]);
+            const TidMap& map = tids.find(partner)->second;
+            auto it = map.ids.find(key);
+            if (it == map.ids.end()) {
+              // The partner row did not appear in its component stream (can
+              // happen only for non-reachable setups); drop the connection
+              // to keep the answer closed.
+              valid = false;
+              break;
+            }
+            partner_tids.push_back(it->second);
+          }
+          if (!valid) continue;
+          if (!seen.insert(partner_tids).second) continue;  // duplicate
+          StreamItem item;
+          item.kind = StreamItem::Kind::kConnection;
+          item.output = oi;
+          item.tids = std::move(partner_tids);
+          ++result.stats.rows_output;
+          buffers[oi].push_back(std::move(item));
+        }
+        op->Close();
+        return Status::Ok();
+      }));
+
+  // Merge the per-output buffers into one stream, in output order (a
+  // deterministic interleaving; the paper allows any, Sect. 5.1).
+  size_t total = 0;
+  for (const auto& b : buffers) total += b.size();
+  result.stream.reserve(total);
+  for (auto& b : buffers) {
+    for (StreamItem& item : b) result.stream.push_back(std::move(item));
+  }
+  return result;
+}
+
+}  // namespace xnfdb

@@ -1,0 +1,79 @@
+// Top-level query execution: runs a (rewritten, NF) QGM graph and produces
+// the answer set.
+//
+// For plain SQL the result is a single table. For XNF queries it is the
+// heterogeneous collection of tuples of Sect. 5: each item is either a
+// component row carrying a system-generated tuple identifier and a component
+// number, or a connection tuple carrying the identifiers of the rows it
+// connects ("A connection tuple contains the identifiers of the connected
+// rows").
+
+#ifndef XNFDB_EXEC_EXECUTOR_H_
+#define XNFDB_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "exec/operators.h"
+#include "optimizer/planner.h"
+#include "qgm/qgm.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+// Tuple identifier within one component stream.
+using TupleId = int64_t;
+
+// Description of one output stream of the answer set.
+struct OutputDesc {
+  std::string name;
+  bool is_connection = false;
+  Schema schema;                          // component row schema (projected)
+  std::vector<std::string> partner_names;  // connection streams only
+};
+
+// One element of the heterogeneous answer stream.
+struct StreamItem {
+  enum class Kind { kRow, kConnection };
+
+  Kind kind = Kind::kRow;
+  int output = -1;            // index into QueryResult::outputs
+  TupleId tid = -1;           // kRow
+  Tuple values;               // kRow
+  std::vector<TupleId> tids;  // kConnection: partner tids, parent first
+};
+
+struct QueryResult {
+  std::vector<OutputDesc> outputs;
+  std::vector<StreamItem> stream;
+  ExecStats stats;
+
+  // Index of the output named `name`, or -1.
+  int FindOutput(const std::string& name) const;
+  // All rows of output `idx`, in stream order.
+  std::vector<Tuple> RowsOf(int idx) const;
+  // Convenience for single-table SQL results.
+  std::vector<Tuple> rows() const { return RowsOf(0); }
+  size_t RowCount(int idx) const;
+  size_t ConnectionCount(int idx) const;
+};
+
+struct ExecOptions {
+  PlanOptions plan;
+  // Evaluate the Top box's output streams on up to this many threads
+  // (paper Sect. 5.1/6: applying parallelism to set-oriented CO
+  // extraction). 1 = sequential.
+  int parallel_workers = 1;
+};
+
+// Executes a graph whose XNF box (if any) has already been rewritten away.
+Result<QueryResult> ExecuteGraph(const Catalog& catalog,
+                                 const qgm::QueryGraph& graph,
+                                 const ExecOptions& options = {});
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_EXEC_EXECUTOR_H_

@@ -1,0 +1,177 @@
+#include "exec/expr_eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace xnfdb {
+
+size_t Layout::TotalWidth() const {
+  size_t width = 0;
+  for (const auto& [id, slot] : slots_) {
+    width = std::max(width, slot.first + slot.second);
+  }
+  return width;
+}
+
+std::vector<int> Layout::QuantIds() const {
+  std::vector<int> ids;
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  return ids;
+}
+
+void Layout::Append(const Layout& other, size_t shift) {
+  for (const auto& [id, slot] : other.slots_) {
+    slots_[id] = {slot.first + shift, slot.second};
+  }
+}
+
+Result<Value> EvalExpr(const qgm::Expr& e, const Layout& layout,
+                       const Tuple& row) {
+  using Kind = qgm::Expr::Kind;
+  switch (e.kind) {
+    case Kind::kLiteral:
+      return e.literal;
+    case Kind::kColRef: {
+      if (!layout.Has(e.quant_id)) {
+        return Status::Internal("no slot for quantifier q" +
+                                std::to_string(e.quant_id));
+      }
+      size_t idx = layout.Offset(e.quant_id) + e.column;
+      if (idx >= row.size()) {
+        return Status::Internal("column reference beyond combined row");
+      }
+      return row[idx];
+    }
+    case Kind::kBinary: {
+      if (e.op == "AND" || e.op == "OR") {
+        XNFDB_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, layout, row));
+        XNFDB_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, layout, row));
+        // Three-valued logic.
+        bool lnull = l.is_null(), rnull = r.is_null();
+        bool lv = !lnull && l.type() == DataType::kBool && l.AsBool();
+        bool rv = !rnull && r.type() == DataType::kBool && r.AsBool();
+        if (e.op == "AND") {
+          if (!lnull && !lv) return Value(false);
+          if (!rnull && !rv) return Value(false);
+          if (lnull || rnull) return Value::Null();
+          return Value(true);
+        }
+        if (!lnull && lv) return Value(true);
+        if (!rnull && rv) return Value(true);
+        if (lnull || rnull) return Value::Null();
+        return Value(false);
+      }
+      XNFDB_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, layout, row));
+      XNFDB_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, layout, row));
+      if (e.op == "+") return Value::Add(l, r);
+      if (e.op == "-") return Value::Sub(l, r);
+      if (e.op == "*") return Value::Mul(l, r);
+      if (e.op == "/") return Value::Div(l, r);
+      return Value::Compare(l, r, e.op);
+    }
+    case Kind::kUnary: {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, layout, row));
+      if (e.op == "NOT") {
+        if (v.is_null()) return Value::Null();
+        if (v.type() != DataType::kBool) {
+          return Status::ExecutionError("NOT applied to non-boolean");
+        }
+        return Value(!v.AsBool());
+      }
+      if (e.op == "-") {
+        if (v.is_null()) return Value::Null();
+        if (v.type() == DataType::kInt) return Value(-v.AsInt());
+        if (v.type() == DataType::kDouble) return Value(-v.AsDouble());
+        return Status::ExecutionError("unary minus on non-numeric");
+      }
+      return Status::Internal("unknown unary operator " + e.op);
+    }
+    case Kind::kLike: {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, layout, row));
+      if (v.is_null()) return Value::Null();
+      if (v.type() != DataType::kString) {
+        return Status::ExecutionError("LIKE applied to non-string");
+      }
+      bool m = LikeMatch(v.AsString(), e.pattern);
+      return Value(e.negated ? !m : m);
+    }
+    case Kind::kAgg:
+      return Status::Internal(
+          "aggregate expression evaluated outside aggregation");
+    case Kind::kFunc: {
+      XNFDB_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.lhs, layout, row));
+      Value b;
+      if (e.rhs != nullptr) {
+        XNFDB_ASSIGN_OR_RETURN(b, EvalExpr(*e.rhs, layout, row));
+      }
+      if (a.is_null() || (e.rhs != nullptr && b.is_null())) {
+        return Value::Null();
+      }
+      if (e.op == "UPPER" || e.op == "LOWER") {
+        if (a.type() != DataType::kString) {
+          return Status::ExecutionError(e.op + " applied to non-string");
+        }
+        std::string s = a.AsString();
+        for (char& c : s) {
+          c = e.op == "UPPER" ? std::toupper(static_cast<unsigned char>(c))
+                              : std::tolower(static_cast<unsigned char>(c));
+        }
+        return Value(std::move(s));
+      }
+      if (e.op == "LENGTH") {
+        if (a.type() != DataType::kString) {
+          return Status::ExecutionError("LENGTH applied to non-string");
+        }
+        return Value(static_cast<int64_t>(a.AsString().size()));
+      }
+      if (e.op == "ABS") {
+        if (a.type() == DataType::kInt) {
+          return Value(a.AsInt() < 0 ? -a.AsInt() : a.AsInt());
+        }
+        if (a.type() == DataType::kDouble) {
+          return Value(std::fabs(a.AsDouble()));
+        }
+        return Status::ExecutionError("ABS applied to non-numeric");
+      }
+      if (e.op == "ROUND") {
+        if (a.type() == DataType::kInt) return a;
+        if (a.type() == DataType::kDouble) {
+          return Value(static_cast<int64_t>(std::llround(a.AsDouble())));
+        }
+        return Status::ExecutionError("ROUND applied to non-numeric");
+      }
+      if (e.op == "MOD") {
+        if (a.type() != DataType::kInt || b.type() != DataType::kInt) {
+          return Status::ExecutionError("MOD requires integer arguments");
+        }
+        if (b.AsInt() == 0) {
+          return Status::ExecutionError("MOD by zero");
+        }
+        return Value(a.AsInt() % b.AsInt());
+      }
+      if (e.op == "CONCAT") {
+        if (a.type() != DataType::kString || b.type() != DataType::kString) {
+          return Status::ExecutionError("CONCAT requires string arguments");
+        }
+        return Value(a.AsString() + b.AsString());
+      }
+      return Status::Internal("unknown scalar function " + e.op);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalPredicate(const qgm::Expr& e, const Layout& layout,
+                           const Tuple& row) {
+  XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(e, layout, row));
+  if (v.is_null()) return false;
+  if (v.type() != DataType::kBool) {
+    return Status::ExecutionError("predicate did not evaluate to boolean");
+  }
+  return v.AsBool();
+}
+
+}  // namespace xnfdb

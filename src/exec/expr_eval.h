@@ -1,0 +1,66 @@
+// Runtime evaluation of QGM scalar expressions.
+//
+// During box evaluation, the rows of the box's quantifiers are concatenated
+// into one combined tuple; a `Layout` records at which offset each
+// quantifier's columns live. Column references are resolved through it.
+
+#ifndef XNFDB_EXEC_EXPR_EVAL_H_
+#define XNFDB_EXEC_EXPR_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "qgm/qgm.h"
+
+namespace xnfdb {
+
+// Maps quantifier ids to column offsets within a combined tuple.
+class Layout {
+ public:
+  void Add(int quant_id, size_t offset, size_t arity) {
+    slots_[quant_id] = {offset, arity};
+  }
+  bool Has(int quant_id) const { return slots_.count(quant_id) != 0; }
+  size_t Offset(int quant_id) const { return slots_.at(quant_id).first; }
+  size_t Arity(int quant_id) const { return slots_.at(quant_id).second; }
+  size_t TotalWidth() const;
+  std::vector<int> QuantIds() const;
+
+  // Merges `other`, shifting its offsets by `shift`.
+  void Append(const Layout& other, size_t shift);
+
+ private:
+  std::map<int, std::pair<size_t, size_t>> slots_;  // id -> (offset, arity)
+};
+
+// Evaluates `e` against `row` (combined tuple described by `layout`).
+// Aggregate expressions are rejected here; the aggregation operator handles
+// them separately.
+Result<Value> EvalExpr(const qgm::Expr& e, const Layout& layout,
+                       const Tuple& row);
+
+// SQL three-valued predicate check: true only when `e` evaluates to TRUE.
+Result<bool> EvalPredicate(const qgm::Expr& e, const Layout& layout,
+                           const Tuple& row);
+
+// Hash/equality functors for Tuple keys in hash joins and distinct.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      // NULL-safe equality so grouping/dedup treat NULLs as one class.
+      if (a[i].is_null() != b[i].is_null()) return false;
+      if (!a[i].is_null() && !(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_EXEC_EXPR_EVAL_H_

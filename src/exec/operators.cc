@@ -1,0 +1,681 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace xnfdb {
+
+std::string ExecStats::ToString() const {
+  std::ostringstream os;
+  os << "scanned=" << rows_scanned << " index_lookups=" << index_lookups
+     << " join_probes=" << join_probes << " exists_probes=" << exists_probes
+     << " spool_builds=" << spool_builds
+     << " spool_read_rows=" << spool_read_rows << " output=" << rows_output
+     << " operators=" << operators_created;
+  return os.str();
+}
+
+Result<std::vector<Tuple>> DrainOperator(Operator* op) {
+  std::vector<Tuple> rows;
+  XNFDB_RETURN_IF_ERROR(op->Open());
+  Tuple row;
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    rows.push_back(std::move(row));
+    row = Tuple();
+  }
+  op->Close();
+  return rows;
+}
+
+// --- sources ---------------------------------------------------------------
+
+Result<bool> ScanOp::Next(Tuple* row) {
+  while (rid_ < table_->rid_bound()) {
+    Rid r = rid_++;
+    if (!table_->IsLive(r)) continue;
+    *row = table_->Get(r);
+    if (stats_ != nullptr) ++stats_->rows_scanned;
+    return true;
+  }
+  return false;
+}
+
+Status IndexScanOp::Open() {
+  const HashIndex* index = table_->GetIndex(column_);
+  if (index == nullptr) {
+    return Status::Internal("index scan without index on " + table_->name());
+  }
+  rids_ = index->Lookup(key_);
+  pos_ = 0;
+  if (stats_ != nullptr) ++stats_->index_lookups;
+  return Status::Ok();
+}
+
+Result<bool> IndexScanOp::Next(Tuple* row) {
+  if (rids_ == nullptr) return false;
+  while (pos_ < rids_->size()) {
+    Rid r = (*rids_)[pos_++];
+    if (!table_->IsLive(r)) continue;
+    *row = table_->Get(r);
+    if (stats_ != nullptr) ++stats_->rows_scanned;
+    return true;
+  }
+  return false;
+}
+
+Status RangeScanOp::Open() {
+  const OrderedIndex* index = table_->GetOrderedIndex(column_);
+  if (index == nullptr) {
+    return Status::Internal("range scan without ordered index on " +
+                            table_->name());
+  }
+  rids_.clear();
+  index->Range(lo_.has_value() ? &*lo_ : nullptr, lo_inclusive_,
+               hi_.has_value() ? &*hi_ : nullptr, hi_inclusive_, &rids_);
+  pos_ = 0;
+  if (stats_ != nullptr) ++stats_->index_lookups;
+  return Status::Ok();
+}
+
+Result<bool> RangeScanOp::Next(Tuple* row) {
+  while (pos_ < rids_.size()) {
+    Rid r = rids_[pos_++];
+    if (!table_->IsLive(r)) continue;
+    *row = table_->Get(r);
+    if (stats_ != nullptr) ++stats_->rows_scanned;
+    return true;
+  }
+  return false;
+}
+
+Result<bool> MaterializedOp::Next(Tuple* row) {
+  if (pos_ >= rows_->size()) return false;
+  *row = (*rows_)[pos_++];
+  if (stats_ != nullptr) ++stats_->spool_read_rows;
+  return true;
+}
+
+// --- row transforms -----------------------------------------------------------
+
+Result<bool> FilterOp::Next(Tuple* row) {
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    bool pass = true;
+    for (const qgm::Expr* p : preds_) {
+      XNFDB_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, layout_, *row));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+}
+
+Result<bool> ProjectOp::Next(Tuple* row) {
+  Tuple input;
+  XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+  if (!more) return false;
+  row->clear();
+  row->reserve(exprs_.size());
+  for (const qgm::Expr* e : exprs_) {
+    XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, layout_, input));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+Result<bool> DistinctOp::Next(Tuple* row) {
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    if (seen_.emplace(*row, true).second) return true;
+  }
+}
+
+Status SortOp::Open() {
+  XNFDB_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  Tuple in;
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    rows_.push_back(std::move(in));
+    in = Tuple();
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     for (const auto& [col, desc] : keys_) {
+                       const Value& va = a[col];
+                       const Value& vb = b[col];
+                       if (va < vb) return !desc;
+                       if (vb < va) return desc;
+                     }
+                     return false;
+                   });
+  pos_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> SortOp::Next(Tuple* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+Result<bool> LimitOp::Next(Tuple* row) {
+  while (skipped_ < offset_) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    ++skipped_;
+  }
+  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+  if (!more) return false;
+  ++emitted_;
+  return true;
+}
+
+// --- joins ---------------------------------------------------------------------
+
+Status HashJoinOp::Open() {
+  XNFDB_RETURN_IF_ERROR(left_->Open());
+  XNFDB_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  Tuple row;
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    Tuple key;
+    key.reserve(right_keys_.size());
+    bool null_key = false;
+    for (const qgm::Expr* k : right_keys_) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, right_layout_, row));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (null_key) continue;  // NULL keys never join
+    build_[std::move(key)].push_back(std::move(row));
+    row = Tuple();
+  }
+  matches_ = nullptr;
+  match_pos_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> HashJoinOp::Next(Tuple* row) {
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Tuple& right_row = (*matches_)[match_pos_++];
+      Tuple combined = current_left_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      bool pass = true;
+      for (const qgm::Expr* p : residual_) {
+        XNFDB_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*p, combined_layout_, combined));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      *row = std::move(combined);
+      return true;
+    }
+    XNFDB_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    if (stats_ != nullptr) ++stats_->join_probes;
+    Tuple key;
+    key.reserve(left_keys_.size());
+    bool null_key = false;
+    for (const qgm::Expr* k : left_keys_) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, left_layout_, current_left_));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    matches_ = nullptr;
+    match_pos_ = 0;
+    if (null_key) continue;
+    auto it = build_.find(key);
+    if (it != build_.end()) matches_ = &it->second;
+  }
+}
+
+Status NLJoinOp::Open() {
+  XNFDB_RETURN_IF_ERROR(left_->Open());
+  XNFDB_RETURN_IF_ERROR(right_->Open());
+  inner_.clear();
+  Tuple in;
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, right_->Next(&in));
+    if (!more) break;
+    inner_.push_back(std::move(in));
+    in = Tuple();
+  }
+  left_valid_ = false;
+  inner_pos_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> NLJoinOp::Next(Tuple* row) {
+  while (true) {
+    if (!left_valid_) {
+      XNFDB_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      left_valid_ = true;
+      inner_pos_ = 0;
+    }
+    while (inner_pos_ < inner_.size()) {
+      if (stats_ != nullptr) ++stats_->join_probes;
+      const Tuple& right_row = inner_[inner_pos_++];
+      Tuple combined = current_left_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      bool pass = true;
+      for (const qgm::Expr* p : preds_) {
+        XNFDB_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*p, combined_layout_, combined));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        *row = std::move(combined);
+        return true;
+      }
+    }
+    left_valid_ = false;
+  }
+}
+
+// --- existential checks ----------------------------------------------------------
+
+Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
+  if (!g->equi_outer.empty() && !naive_) {
+    if (!g->index_built) {
+      for (size_t i = 0; i < g->rows->size(); ++i) {
+        Tuple key;
+        key.reserve(g->equi_inner.size());
+        bool null_key = false;
+        for (const qgm::Expr* k : g->equi_inner) {
+          XNFDB_ASSIGN_OR_RETURN(Value v,
+                                 EvalExpr(*k, g->group_layout, (*g->rows)[i]));
+          if (v.is_null()) null_key = true;
+          key.push_back(std::move(v));
+        }
+        if (!null_key) g->index[std::move(key)].push_back(i);
+      }
+      g->index_built = true;
+    }
+    Tuple key;
+    key.reserve(g->equi_outer.size());
+    for (const qgm::Expr* k : g->equi_outer) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, outer_layout_, outer));
+      if (v.is_null()) return false;
+      key.push_back(std::move(v));
+    }
+    auto it = g->index.find(key);
+    if (it == g->index.end()) return false;
+    if (g->residual.empty()) return true;
+    for (size_t idx : it->second) {
+      if (stats_ != nullptr) ++stats_->exists_probes;
+      Tuple combined = outer;
+      const Tuple& group_row = (*g->rows)[idx];
+      combined.insert(combined.end(), group_row.begin(), group_row.end());
+      bool pass = true;
+      for (const qgm::Expr* p : g->residual) {
+        XNFDB_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*p, g->combined_layout, combined));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+    }
+    return false;
+  }
+  // Naive path: scan every materialized group row (this is the per-outer-row
+  // subquery execution the rewrite optimization eliminates).
+  for (const Tuple& group_row : *g->rows) {
+    if (stats_ != nullptr) ++stats_->exists_probes;
+    Tuple combined = outer;
+    combined.insert(combined.end(), group_row.begin(), group_row.end());
+    bool pass = true;
+    // In naive mode, equi pairs are evaluated like ordinary predicates.
+    for (size_t i = 0; i < g->equi_outer.size(); ++i) {
+      XNFDB_ASSIGN_OR_RETURN(
+          Value lv, EvalExpr(*g->equi_outer[i], outer_layout_, outer));
+      XNFDB_ASSIGN_OR_RETURN(
+          Value rv, EvalExpr(*g->equi_inner[i], g->group_layout, group_row));
+      Value eq = Value::Compare(lv, rv, "=");
+      if (eq.is_null() || !eq.AsBool()) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      for (const qgm::Expr* p : g->residual) {
+        XNFDB_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*p, g->combined_layout, combined));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (pass) return true;
+  }
+  return false;
+}
+
+Result<bool> ExistsFilterOp::Next(Tuple* row) {
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    bool pass;
+    if (disjunctive_) {
+      pass = groups_.empty();
+      for (GroupCheck& g : groups_) {
+        XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, *row));
+        if (match != g.negated) {
+          pass = true;
+          break;
+        }
+      }
+    } else {
+      pass = true;
+      for (GroupCheck& g : groups_) {
+        XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, *row));
+        if (match == g.negated) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (pass) return true;
+  }
+}
+
+// --- set operations ---------------------------------------------------------------
+
+Status UnionOp::Open() {
+  for (auto& c : children_) XNFDB_RETURN_IF_ERROR(c->Open());
+  current_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> UnionOp::Next(Tuple* row) {
+  while (current_ < children_.size()) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(row));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// --- aggregation ------------------------------------------------------------------
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  Value sum;
+  Value min;
+  Value max;
+  double dsum = 0;
+  bool any = false;
+};
+
+}  // namespace
+
+Status AggOp::Open() {
+  XNFDB_RETURN_IF_ERROR(child_->Open());
+  results_.clear();
+  pos_ = 0;
+
+  // group key -> (representative row, per-spec aggregate state)
+  std::map<std::vector<std::string>, std::pair<Tuple, std::vector<AggState>>>
+      groups;
+  // Use an order-preserving map keyed by rendered values for determinism.
+  Tuple row;
+  while (true) {
+    Result<bool> more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    std::vector<std::string> key;
+    for (const qgm::Expr* gexpr : group_by_) {
+      Result<Value> v = EvalExpr(*gexpr, layout_, row);
+      if (!v.ok()) return v.status();
+      key.push_back(v.value().ToString());
+    }
+    auto [it, inserted] =
+        groups.try_emplace(std::move(key), row, std::vector<AggState>());
+    if (inserted) it->second.second.resize(specs_.size());
+    std::vector<AggState>& states = it->second.second;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const AggSpec& spec = specs_[i];
+      if (!spec.is_agg) continue;
+      AggState& st = states[i];
+      Value v;
+      if (spec.arg != nullptr) {
+        Result<Value> r = EvalExpr(*spec.arg, layout_, row);
+        if (!r.ok()) return r.status();
+        v = r.value();
+        if (v.is_null()) continue;  // aggregates skip NULLs
+      }
+      ++st.count;
+      st.any = true;
+      if (spec.arg != nullptr) {
+        if (st.min.is_null() || v < st.min) st.min = v;
+        if (st.max.is_null() || st.max < v) st.max = v;
+        if (v.type() == DataType::kInt || v.type() == DataType::kDouble) {
+          st.dsum += v.AsDouble();
+          if (st.sum.is_null()) {
+            st.sum = v;
+          } else if (st.sum.type() == DataType::kInt &&
+                     v.type() == DataType::kInt) {
+            st.sum = Value(st.sum.AsInt() + v.AsInt());
+          } else {
+            st.sum = Value(st.sum.AsDouble() + v.AsDouble());
+          }
+        }
+      }
+    }
+  }
+
+  // Global aggregation over an empty input still yields one row.
+  if (groups.empty() && group_by_.empty() && !specs_.empty()) {
+    bool all_aggs = true;
+    for (const AggSpec& s : specs_) all_aggs &= s.is_agg;
+    if (all_aggs) {
+      groups[{}] = {Tuple(), std::vector<AggState>(specs_.size())};
+    }
+  }
+
+  for (auto& [key, entry] : groups) {
+    auto& [rep, states] = entry;
+    Tuple out;
+    out.reserve(specs_.size());
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const AggSpec& spec = specs_[i];
+      if (!spec.is_agg) {
+        Result<Value> v = EvalExpr(*spec.group_expr, layout_, rep);
+        if (!v.ok()) return v.status();
+        out.push_back(v.value());
+        continue;
+      }
+      const AggState& st = states[i];
+      if (spec.func == "COUNT") {
+        out.push_back(Value(st.count));
+      } else if (spec.func == "SUM") {
+        out.push_back(st.sum);
+      } else if (spec.func == "MIN") {
+        out.push_back(st.min);
+      } else if (spec.func == "MAX") {
+        out.push_back(st.max);
+      } else if (spec.func == "AVG") {
+        out.push_back(st.count == 0 ? Value::Null()
+                                    : Value(st.dsum / st.count));
+      } else {
+        return Status::Unsupported("aggregate function " + spec.func);
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::Ok();
+}
+
+Result<bool> AggOp::Next(Tuple* row) {
+  if (pos_ >= results_.size()) return false;
+  *row = results_[pos_++];
+  return true;
+}
+
+
+// --- EXPLAIN rendering ---------------------------------------------------------
+
+void ExplainLine(int depth, const std::string& text, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(text);
+  out->push_back('\n');
+}
+
+namespace {
+
+std::string RenderExprs(const std::vector<const qgm::Expr*>& exprs) {
+  std::string s;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) s += " AND ";
+    s += exprs[i]->ToString(nullptr);
+  }
+  return s;
+}
+
+}  // namespace
+
+void ScanOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "Scan(" + table_->name() + ")", out);
+}
+
+void IndexScanOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth,
+              "IndexScan(" + table_->name() + "." +
+                  table_->schema().column(column_).name + " = " +
+                  key_.ToString() + ")",
+              out);
+}
+
+void RangeScanOp::Explain(int depth, std::string* out) const {
+  std::string range;
+  if (lo_.has_value()) {
+    range += lo_->ToString() + (lo_inclusive_ ? " <= " : " < ");
+  }
+  range += table_->name() + "." + table_->schema().column(column_).name;
+  if (hi_.has_value()) {
+    range += (hi_inclusive_ ? " <= " : " < ") + hi_->ToString();
+  }
+  ExplainLine(depth, "RangeScan(" + range + ")", out);
+}
+
+void MaterializedOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth,
+              "SpoolRead(" + std::to_string(rows_->size()) + " rows)", out);
+}
+
+void FilterOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "Filter(" + RenderExprs(preds_) + ")", out);
+  child_->Explain(depth + 1, out);
+}
+
+void ProjectOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "Project(" + std::to_string(exprs_.size()) + " cols)",
+              out);
+  child_->Explain(depth + 1, out);
+}
+
+void DistinctOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "Distinct", out);
+  child_->Explain(depth + 1, out);
+}
+
+void SortOp::Explain(int depth, std::string* out) const {
+  std::string keys;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += "#" + std::to_string(keys_[i].first) +
+            (keys_[i].second ? " DESC" : "");
+  }
+  ExplainLine(depth, "Sort(" + keys + ")", out);
+  child_->Explain(depth + 1, out);
+}
+
+void LimitOp::Explain(int depth, std::string* out) const {
+  std::string line = "Limit(" + std::to_string(limit_);
+  if (offset_ > 0) line += " offset " + std::to_string(offset_);
+  line += ")";
+  ExplainLine(depth, line, out);
+  child_->Explain(depth + 1, out);
+}
+
+void HashJoinOp::Explain(int depth, std::string* out) const {
+  std::string keys;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += left_keys_[i]->ToString(nullptr) + " = " +
+            right_keys_[i]->ToString(nullptr);
+  }
+  std::string line = "HashJoin(" + keys + ")";
+  if (!residual_.empty()) line += " residual(" + RenderExprs(residual_) + ")";
+  ExplainLine(depth, line, out);
+  left_->Explain(depth + 1, out);
+  right_->Explain(depth + 1, out);
+}
+
+void NLJoinOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "NestedLoopJoin(" + RenderExprs(preds_) + ")", out);
+  left_->Explain(depth + 1, out);
+  right_->Explain(depth + 1, out);
+}
+
+void ExistsFilterOp::Explain(int depth, std::string* out) const {
+  std::string line = "ExistsFilter(";
+  line += std::to_string(groups_.size());
+  line += disjunctive_ ? " group(s), ANY" : " group(s), ALL";
+  if (naive_) line += ", naive";
+  line += ")";
+  ExplainLine(depth, line, out);
+  for (const GroupCheck& g : groups_) {
+    ExplainLine(depth + 1,
+                std::string(g.negated ? "anti-" : "") + "group over " +
+                    std::to_string(g.rows->size()) + " materialized rows, " +
+                    std::to_string(g.equi_outer.size()) + " hash key(s)",
+                out);
+  }
+  child_->Explain(depth + 1, out);
+}
+
+void UnionOp::Explain(int depth, std::string* out) const {
+  ExplainLine(depth, "Union", out);
+  for (const OperatorPtr& c : children_) c->Explain(depth + 1, out);
+}
+
+void AggOp::Explain(int depth, std::string* out) const {
+  std::string aggs;
+  for (const AggSpec& spec : specs_) {
+    if (!spec.is_agg) continue;
+    if (!aggs.empty()) aggs += ", ";
+    aggs += spec.func;
+  }
+  ExplainLine(depth,
+              "Aggregate(" + std::to_string(group_by_.size()) +
+                  " group col(s); " + aggs + ")",
+              out);
+  child_->Explain(depth + 1, out);
+}
+
+}  // namespace xnfdb

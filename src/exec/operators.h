@@ -1,0 +1,479 @@
+// Physical operators of the Query Evaluation System (paper Sect. 3.1).
+//
+// Execution follows the Starburst "table queue" style: demand-driven,
+// pipelined iterators (Open / Next / Close). Each QEP operator consumes one
+// or more input streams and produces an output stream of tuples. Shared
+// common subexpressions are realized by Spool buffers: a producer is run
+// once and any number of readers iterate the materialized result.
+
+#ifndef XNFDB_EXEC_OPERATORS_H_
+#define XNFDB_EXEC_OPERATORS_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/expr_eval.h"
+#include "qgm/qgm.h"
+#include "storage/table.h"
+
+namespace xnfdb {
+
+// A copyable atomic counter, so ExecStats can be both shared between
+// parallel workers (paper Sect. 5.1/6: parallel CO extraction) and returned
+// by value in QueryResult.
+class StatCounter {
+ public:
+  StatCounter(int64_t v = 0) : value_(v) {}  // NOLINT
+  StatCounter(const StatCounter& other) : value_(other.load()) {}
+  StatCounter& operator=(const StatCounter& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator+=(int64_t v) {
+    value_.fetch_add(v, std::memory_order_relaxed);
+    return *this;
+  }
+  int64_t load() const { return value_.load(std::memory_order_relaxed); }
+  operator int64_t() const { return load(); }  // NOLINT
+
+ private:
+  std::atomic<int64_t> value_;
+};
+
+// Execution counters, reported by benches and asserted on by tests.
+struct ExecStats {
+  StatCounter rows_scanned;       // base-table rows read
+  StatCounter index_lookups;      // index probe operations
+  StatCounter join_probes;        // hash/NL join probe rows
+  StatCounter exists_probes;      // existential checks performed
+  StatCounter spool_builds;       // common subexpressions materialized
+  StatCounter spool_read_rows;    // rows served from spools
+  StatCounter rows_output;        // rows leaving Top
+  StatCounter operators_created;
+
+  std::string ToString() const;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  // Produces the next row into `*row`; returns false at end of stream.
+  virtual Result<bool> Next(Tuple* row) = 0;
+  virtual void Close() = 0;
+
+  // Appends a one-line-per-operator rendering of this plan subtree to
+  // `out`, indented by `depth` (EXPLAIN support).
+  virtual void Explain(int depth, std::string* out) const = 0;
+};
+
+// Explain helper: indented line.
+void ExplainLine(int depth, const std::string& text, std::string* out);
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Drains `op` completely (Open/Next*/Close) into a vector.
+Result<std::vector<Tuple>> DrainOperator(Operator* op);
+
+// --- sources ---------------------------------------------------------------
+
+// Full scan of a base table.
+class ScanOp : public Operator {
+ public:
+  ScanOp(const Table* table, ExecStats* stats)
+      : table_(table), stats_(stats) {}
+  Status Open() override {
+    rid_ = 0;
+    return Status::Ok();
+  }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {}
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  const Table* table_;
+  ExecStats* stats_;
+  Rid rid_ = 0;
+};
+
+// Hash-index equality lookup `column = key` on a base table.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const Table* table, int column, Value key, ExecStats* stats)
+      : table_(table), column_(column), key_(std::move(key)), stats_(stats) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {}
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  const Table* table_;
+  int column_;
+  Value key_;
+  ExecStats* stats_;
+  const std::vector<Rid>* rids_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// Ordered-index range scan: rows with lo <=(=) column <=(=) hi.
+class RangeScanOp : public Operator {
+ public:
+  RangeScanOp(const Table* table, int column, std::optional<Value> lo,
+              bool lo_inclusive, std::optional<Value> hi, bool hi_inclusive,
+              ExecStats* stats)
+      : table_(table),
+        column_(column),
+        lo_(std::move(lo)),
+        lo_inclusive_(lo_inclusive),
+        hi_(std::move(hi)),
+        hi_inclusive_(hi_inclusive),
+        stats_(stats) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {}
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  const Table* table_;
+  int column_;
+  std::optional<Value> lo_;
+  bool lo_inclusive_;
+  std::optional<Value> hi_;
+  bool hi_inclusive_;
+  ExecStats* stats_;
+  std::vector<Rid> rids_;
+  size_t pos_ = 0;
+};
+
+// Reader over a materialized (spooled) buffer.
+class MaterializedOp : public Operator {
+ public:
+  MaterializedOp(std::shared_ptr<const std::vector<Tuple>> rows,
+                 ExecStats* stats)
+      : rows_(std::move(rows)), stats_(stats) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {}
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  std::shared_ptr<const std::vector<Tuple>> rows_;
+  ExecStats* stats_;
+  size_t pos_ = 0;
+};
+
+// --- row transforms ----------------------------------------------------------
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<const qgm::Expr*> preds,
+           Layout layout)
+      : child_(std::move(child)),
+        preds_(std::move(preds)),
+        layout_(std::move(layout)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const qgm::Expr*> preds_;
+  Layout layout_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<const qgm::Expr*> exprs,
+            Layout layout)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        layout_(std::move(layout)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const qgm::Expr*> exprs_;
+  Layout layout_;
+};
+
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_map<Tuple, bool, TupleHash, TupleEq> seen_;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::pair<int, bool>> keys_;  // (column, descending)
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+// Emits at most `limit` rows (-1 = unlimited) after skipping `offset`.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+  Status Open() override {
+    emitted_ = 0;
+    skipped_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t offset_;
+  int64_t emitted_ = 0;
+  int64_t skipped_ = 0;
+};
+
+// --- joins -------------------------------------------------------------------
+
+// Hash equi-join; residual predicates evaluated over the combined row
+// (left columns then right columns).
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<const qgm::Expr*> left_keys,
+             std::vector<const qgm::Expr*> right_keys,
+             std::vector<const qgm::Expr*> residual, Layout left_layout,
+             Layout right_layout, Layout combined_layout, ExecStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        left_layout_(std::move(left_layout)),
+        right_layout_(std::move(right_layout)),
+        combined_layout_(std::move(combined_layout)),
+        stats_(stats) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;  // build side
+  std::vector<const qgm::Expr*> left_keys_;
+  std::vector<const qgm::Expr*> right_keys_;
+  std::vector<const qgm::Expr*> residual_;
+  Layout left_layout_;
+  Layout right_layout_;
+  Layout combined_layout_;
+  ExecStats* stats_;
+
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+  Tuple current_left_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+// Nested-loop join (inner side materialized) for non-equi predicates.
+class NLJoinOp : public Operator {
+ public:
+  NLJoinOp(OperatorPtr left, OperatorPtr right,
+           std::vector<const qgm::Expr*> preds, Layout combined_layout,
+           ExecStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        preds_(std::move(preds)),
+        combined_layout_(std::move(combined_layout)),
+        stats_(stats) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<const qgm::Expr*> preds_;
+  Layout combined_layout_;
+  ExecStats* stats_;
+
+  std::vector<Tuple> inner_;
+  Tuple current_left_;
+  size_t inner_pos_ = 0;
+  bool left_valid_ = false;
+};
+
+// --- existential checks --------------------------------------------------------
+
+// One alternative of a disjunctive existential predicate, pre-materialized.
+struct GroupCheck {
+  bool negated = false;  // NOT EXISTS / NOT IN semantics
+
+  std::shared_ptr<const std::vector<Tuple>> rows;  // group-side joined rows
+  Layout group_layout;    // offsets within a group row (unshifted)
+  Layout combined_layout; // outer layout + group layout shifted
+
+  // Extracted equi-correlation: outer keys (over the outer layout) matched
+  // against inner keys (over the group layout). Empty => scan.
+  std::vector<const qgm::Expr*> equi_outer;
+  std::vector<const qgm::Expr*> equi_inner;
+  // Remaining correlated predicates over the combined layout.
+  std::vector<const qgm::Expr*> residual;
+
+  // Lazily built hash over `rows` keyed by equi_inner.
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> index;
+  bool index_built = false;
+};
+
+// Existential filtering. In disjunctive mode an outer row qualifies when at
+// least one group admits a matching group row (OR — XNF reachability via
+// any relationship); in conjunctive mode every group must match (ordinary
+// top-level EXISTS conjuncts). With `naive` set, hash indexes are disabled
+// and each check scans the materialized group rows — the "straightforward
+// execution strategy used in many DBMSs" of Sect. 3.2, kept for
+// benchmarking the rewrite win.
+class ExistsFilterOp : public Operator {
+ public:
+  ExistsFilterOp(OperatorPtr child, std::vector<GroupCheck> groups,
+                 Layout outer_layout, bool disjunctive, bool naive,
+                 ExecStats* stats)
+      : child_(std::move(child)),
+        groups_(std::move(groups)),
+        outer_layout_(std::move(outer_layout)),
+        disjunctive_(disjunctive),
+        naive_(naive),
+        stats_(stats) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  Result<bool> GroupMatches(GroupCheck* g, const Tuple& outer);
+
+  OperatorPtr child_;
+  std::vector<GroupCheck> groups_;
+  Layout outer_layout_;
+  bool disjunctive_;
+  bool naive_;
+  ExecStats* stats_;
+};
+
+// --- set operations ------------------------------------------------------------
+
+class UnionOp : public Operator {
+ public:
+  explicit UnionOp(std::vector<OperatorPtr> children)
+      : children_(std::move(children)) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override {
+    for (auto& c : children_) c->Close();
+  }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+// --- aggregation ----------------------------------------------------------------
+
+// Output column of an aggregation: either a grouping expression or a bare
+// aggregate over an argument expression.
+struct AggSpec {
+  bool is_agg = false;
+  std::string func;            // COUNT/SUM/MIN/MAX/AVG
+  const qgm::Expr* arg = nullptr;  // null => COUNT(*)
+  const qgm::Expr* group_expr = nullptr;
+};
+
+class AggOp : public Operator {
+ public:
+  AggOp(OperatorPtr child, std::vector<const qgm::Expr*> group_by,
+        std::vector<AggSpec> specs, Layout layout)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        specs_(std::move(specs)),
+        layout_(std::move(layout)) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* row) override;
+  void Close() override { child_->Close(); }
+
+  void Explain(int depth, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const qgm::Expr*> group_by_;
+  std::vector<AggSpec> specs_;
+  Layout layout_;
+  std::vector<Tuple> results_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_EXEC_OPERATORS_H_

@@ -1,0 +1,95 @@
+// Plan optimization and refinement (paper Sect. 3.1, 4.3): compiles QGM
+// boxes into physical operator trees.
+//
+// The planner performs the classic relational choices the paper leans on:
+//  * access-path selection — hash-index lookups for `col = literal`
+//    predicates on base tables, scans otherwise;
+//  * join-method selection — hash join for equi-predicates, nested loops
+//    otherwise;
+//  * join ordering — greedy smallest-cardinality-first with connectivity
+//    preference, driven by table statistics;
+//  * common-subexpression sharing — boxes with more than one consumer are
+//    spooled (materialized once, read many times), which realizes the
+//    multi-query optimization the XNF rewrite sets up (Sect. 4.2, 5.1).
+
+#ifndef XNFDB_OPTIMIZER_PLANNER_H_
+#define XNFDB_OPTIMIZER_PLANNER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "qgm/qgm.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+struct PlanOptions {
+  bool use_indexes = true;
+  bool use_hash_join = true;  // false => nested-loop joins only
+  bool naive_exists = false;  // per-outer-row subquery scans (Sect. 3.2 naive)
+  bool spool_shared = true;   // false => recompute shared boxes per consumer
+};
+
+// Compiles boxes of one QueryGraph into operators. The planner owns the
+// spool buffers; it must outlive the operators it creates. The graph and
+// catalog must outlive the planner.
+//
+// Thread safety: plan compilation (BoxIterator / MaterializeBox /
+// EstimateCard) is serialized internally, so several workers may compile
+// and then *execute* their operator trees concurrently (spool buffers are
+// immutable once built; base tables are read-only during query execution).
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const qgm::QueryGraph* graph,
+          PlanOptions options, ExecStats* stats)
+      : catalog_(catalog), graph_(graph), options_(options), stats_(stats) {}
+
+  // An iterator producing the head rows of `box_id`. Shared boxes read from
+  // a spool that is populated on first use.
+  Result<OperatorPtr> BoxIterator(int box_id);
+
+  // Materialized head rows of `box_id` (cached).
+  Result<std::shared_ptr<const std::vector<Tuple>>> MaterializeBox(int box_id);
+
+  // Estimated output cardinality of `box_id`.
+  double EstimateCard(int box_id);
+
+ private:
+  Result<OperatorPtr> CompileBox(int box_id);
+  Result<OperatorPtr> CompileSelect(const qgm::Box& box);
+  Result<OperatorPtr> CompileUnion(const qgm::Box& box);
+
+  // Builds the join tree over `quants` applying `preds` as early as
+  // possible. Returns the root operator and fills `layout`.
+  Result<OperatorPtr> BuildJoinTree(
+      const std::vector<const qgm::Quantifier*>& quants,
+      const std::vector<const qgm::Expr*>& preds, Layout* layout);
+
+  // Source for one quantifier with its single-quantifier predicates pushed
+  // down (index lookup when possible).
+  Result<OperatorPtr> QuantSource(const qgm::Quantifier& q,
+                                  std::vector<const qgm::Expr*> pushed);
+
+  double QuantCard(const qgm::Quantifier& q,
+                   const std::vector<const qgm::Expr*>& pushed);
+  double PredSelectivity(const qgm::Expr& pred);
+
+  const Catalog* catalog_;
+  const qgm::QueryGraph* graph_;
+  PlanOptions options_;
+  ExecStats* stats_;
+
+  // Serializes compilation; recursive because materializing one box may
+  // require materializing its inputs.
+  std::recursive_mutex mu_;
+  std::map<int, std::shared_ptr<const std::vector<Tuple>>> spools_;
+  std::map<int, double> card_cache_;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_OPTIMIZER_PLANNER_H_

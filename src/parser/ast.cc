@@ -1,0 +1,237 @@
+#include "parser/ast.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace xnfdb {
+namespace ast {
+
+Exists::Exists(std::unique_ptr<SelectStmt> subquery)
+    : Expr(Kind::kExists), subquery(std::move(subquery)) {}
+Exists::~Exists() = default;
+
+std::string Exists::ToString() const {
+  return "EXISTS (" + subquery->ToString() + ")";
+}
+
+InSubquery::InSubquery(ExprPtr operand, std::unique_ptr<SelectStmt> subquery,
+                       bool negated)
+    : Expr(Kind::kInSubquery),
+      operand(std::move(operand)),
+      subquery(std::move(subquery)),
+      negated(negated) {}
+InSubquery::~InSubquery() = default;
+
+std::string InSubquery::ToString() const {
+  return operand->ToString() + (negated ? " NOT IN (" : " IN (") +
+         subquery->ToString() + ")";
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return std::make_unique<Literal>(static_cast<const Literal&>(e).value);
+    case Expr::Kind::kColumnRef: {
+      const auto& c = static_cast<const ColumnRef&>(e);
+      return std::make_unique<ColumnRef>(c.qualifier, c.column);
+    }
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const Binary&>(e);
+      return std::make_unique<Binary>(b.op, CloneExpr(*b.lhs),
+                                      CloneExpr(*b.rhs));
+    }
+    case Expr::Kind::kUnary: {
+      const auto& u = static_cast<const Unary&>(e);
+      return std::make_unique<Unary>(u.op, CloneExpr(*u.operand));
+    }
+    case Expr::Kind::kExists: {
+      const auto& x = static_cast<const Exists&>(e);
+      return std::make_unique<Exists>(CloneSelect(*x.subquery));
+    }
+    case Expr::Kind::kInSubquery: {
+      const auto& in = static_cast<const InSubquery&>(e);
+      return std::make_unique<InSubquery>(CloneExpr(*in.operand),
+                                          CloneSelect(*in.subquery),
+                                          in.negated);
+    }
+    case Expr::Kind::kLike: {
+      const auto& l = static_cast<const Like&>(e);
+      return std::make_unique<Like>(CloneExpr(*l.operand), l.pattern,
+                                    l.negated);
+    }
+    case Expr::Kind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(e);
+      std::vector<ExprPtr> args;
+      for (const ExprPtr& a : f.args) args.push_back(CloneExpr(*a));
+      return std::make_unique<FuncCall>(f.name, std::move(args));
+    }
+  }
+  assert(false && "unknown Expr kind");
+  return nullptr;
+}
+
+namespace {
+
+TableRef CloneTableRef(const TableRef& t) {
+  TableRef out;
+  out.table = t.table;
+  out.alias = t.alias;
+  if (t.subquery) out.subquery = CloneSelect(*t.subquery);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s) {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = s.distinct;
+  for (const SelectItem& item : s.items) {
+    SelectItem copy;
+    copy.alias = item.alias;
+    copy.is_star = item.is_star;
+    copy.star_qualifier = item.star_qualifier;
+    if (item.expr) copy.expr = CloneExpr(*item.expr);
+    out->items.push_back(std::move(copy));
+  }
+  for (const TableRef& t : s.from) out->from.push_back(CloneTableRef(t));
+  if (s.where) out->where = CloneExpr(*s.where);
+  for (const ExprPtr& g : s.group_by) out->group_by.push_back(CloneExpr(*g));
+  if (s.having) out->having = CloneExpr(*s.having);
+  for (const OrderItem& o : s.order_by) {
+    OrderItem copy;
+    copy.expr = CloneExpr(*o.expr);
+    copy.descending = o.descending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = s.limit;
+  out->offset = s.offset;
+  out->union_all = s.union_all;
+  if (s.union_next) out->union_next = CloneSelect(*s.union_next);
+  return out;
+}
+
+std::unique_ptr<XnfQuery> CloneXnf(const XnfQuery& q) {
+  auto out = std::make_unique<XnfQuery>();
+  out->take_all = q.take_all;
+  out->take = q.take;
+  for (const XnfDef& def : q.defs) {
+    XnfDef copy;
+    copy.name = def.name;
+    copy.kind = def.kind;
+    copy.free_reachability = def.free_reachability;
+    copy.base_table = def.base_table;
+    copy.view_ref = def.view_ref;
+    copy.view_component = def.view_component;
+    if (def.select) copy.select = CloneSelect(*def.select);
+    copy.relate.parent = def.relate.parent;
+    copy.relate.role = def.relate.role;
+    copy.relate.children = def.relate.children;
+    for (const TableRef& t : def.relate.using_tables) {
+      copy.relate.using_tables.push_back(CloneTableRef(t));
+    }
+    if (def.relate.where) copy.relate.where = CloneExpr(*def.relate.where);
+    out->defs.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  std::vector<std::string> parts;
+  for (const SelectItem& item : items) {
+    if (item.is_star) {
+      parts.push_back(item.star_qualifier.empty()
+                          ? "*"
+                          : item.star_qualifier + ".*");
+    } else {
+      std::string p = item.expr->ToString();
+      if (!item.alias.empty()) p += " AS " + item.alias;
+      parts.push_back(std::move(p));
+    }
+  }
+  s += Join(parts, ", ");
+  if (!from.empty()) {
+    s += " FROM ";
+    parts.clear();
+    for (const TableRef& t : from) {
+      std::string p =
+          t.subquery ? "(" + t.subquery->ToString() + ")" : t.table;
+      if (!t.alias.empty()) p += " " + t.alias;
+      parts.push_back(std::move(p));
+    }
+    s += Join(parts, ", ");
+  }
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    parts.clear();
+    for (const ExprPtr& g : group_by) parts.push_back(g->ToString());
+    s += " GROUP BY " + Join(parts, ", ");
+  }
+  if (having) s += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    parts.clear();
+    for (const OrderItem& o : order_by) {
+      parts.push_back(o.expr->ToString() + (o.descending ? " DESC" : ""));
+    }
+    s += " ORDER BY " + Join(parts, ", ");
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  if (offset > 0) s += " OFFSET " + std::to_string(offset);
+  if (union_next) {
+    s += union_all ? " UNION ALL " : " UNION ";
+    s += union_next->ToString();
+  }
+  return s;
+}
+
+std::string XnfQuery::ToString() const {
+  std::string s = "OUT OF ";
+  std::vector<std::string> parts;
+  for (const XnfDef& def : defs) {
+    std::string p = def.name + " AS ";
+    if (def.free_reachability) p += "FREE ";
+    if (def.kind == XnfDef::Kind::kTable) {
+      if (def.select) {
+        p += "(" + def.select->ToString() + ")";
+      } else if (!def.view_ref.empty()) {
+        p += def.view_ref + "." + def.view_component;
+      } else {
+        p += def.base_table;
+      }
+    } else {
+      p += "(RELATE " + def.relate.parent;
+      if (!def.relate.role.empty()) p += " VIA " + def.relate.role;
+      for (const std::string& c : def.relate.children) p += ", " + c;
+      if (!def.relate.using_tables.empty()) {
+        p += " USING ";
+        std::vector<std::string> us;
+        for (const TableRef& t : def.relate.using_tables) {
+          us.push_back(t.alias.empty() ? t.table : t.table + " " + t.alias);
+        }
+        p += Join(us, ", ");
+      }
+      if (def.relate.where) p += " WHERE " + def.relate.where->ToString();
+      p += ")";
+    }
+    parts.push_back(std::move(p));
+  }
+  s += Join(parts, ", ");
+  s += " TAKE ";
+  if (take_all) {
+    s += "*";
+  } else {
+    parts.clear();
+    for (const TakeItem& t : take) {
+      std::string p = t.name;
+      if (!t.columns.empty()) p += "(" + Join(t.columns, ", ") + ")";
+      parts.push_back(std::move(p));
+    }
+    s += Join(parts, ", ");
+  }
+  return s;
+}
+
+}  // namespace ast
+}  // namespace xnfdb

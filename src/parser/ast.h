@@ -1,0 +1,364 @@
+// Abstract syntax tree for the SQL/XNF dialect.
+//
+// The grammar is the SQL subset needed by the paper's examples plus the full
+// XNF composite-object constructor of Sect. 2:
+//
+//   xnf_query  := OUT OF xnf_def (',' xnf_def)* TAKE take_list
+//   xnf_def    := ident AS base_table
+//               | ident AS '(' select ')'
+//               | ident AS '(' RELATE parent VIA role ',' child (',' child)*
+//                              [USING table [alias] (',' table [alias])*]
+//                              [WHERE predicate] ')'
+//   take_list  := '*' | take_item (',' take_item)*
+//   take_item  := ident ['(' column (',' column)* ')']
+
+#ifndef XNFDB_PARSER_AST_H_
+#define XNFDB_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace xnfdb {
+namespace ast {
+
+struct SelectStmt;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kBinary,
+    kUnary,
+    kExists,
+    kInSubquery,
+    kLike,
+    kFuncCall,
+  };
+
+  explicit Expr(Kind kind) : kind(kind) {}
+  virtual ~Expr() = default;
+
+  virtual std::string ToString() const = 0;
+
+  Kind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Literal : Expr {
+  explicit Literal(Value v) : Expr(Kind::kLiteral), value(std::move(v)) {}
+  std::string ToString() const override { return value.ToString(); }
+
+  Value value;
+};
+
+// `column` or `qualifier.column`.
+struct ColumnRef : Expr {
+  ColumnRef(std::string qualifier, std::string column)
+      : Expr(Kind::kColumnRef),
+        qualifier(std::move(qualifier)),
+        column(std::move(column)) {}
+  std::string ToString() const override {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+
+  std::string qualifier;  // table name or alias; may be empty
+  std::string column;
+};
+
+// op is one of: AND OR = <> < <= > >= + - * /
+struct Binary : Expr {
+  Binary(std::string op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::kBinary),
+        op(std::move(op)),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  std::string ToString() const override {
+    return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+  }
+
+  std::string op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+// op is NOT or unary -.
+struct Unary : Expr {
+  Unary(std::string op, ExprPtr operand)
+      : Expr(Kind::kUnary), op(std::move(op)), operand(std::move(operand)) {}
+  std::string ToString() const override {
+    return op + " (" + operand->ToString() + ")";
+  }
+
+  std::string op;
+  ExprPtr operand;
+};
+
+// EXISTS (SELECT ...) — the form that reachability and path expressions
+// compile into (paper Sect. 3.2 / 4.2).
+struct Exists : Expr {
+  explicit Exists(std::unique_ptr<SelectStmt> subquery);
+  ~Exists() override;
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+// expr IN (SELECT ...); `negated` for NOT IN.
+struct InSubquery : Expr {
+  InSubquery(ExprPtr operand, std::unique_ptr<SelectStmt> subquery,
+             bool negated);
+  ~InSubquery() override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<SelectStmt> subquery;
+  bool negated;
+};
+
+struct Like : Expr {
+  Like(ExprPtr operand, std::string pattern, bool negated)
+      : Expr(Kind::kLike),
+        operand(std::move(operand)),
+        pattern(std::move(pattern)),
+        negated(negated) {}
+  std::string ToString() const override {
+    return operand->ToString() + (negated ? " NOT LIKE '" : " LIKE '") +
+           pattern + "'";
+  }
+
+  ExprPtr operand;
+  std::string pattern;
+  bool negated;
+};
+
+// Function call: aggregates (COUNT/SUM/MIN/MAX/AVG) and scalar functions
+// (UPPER/LOWER/LENGTH/ABS/ROUND/MOD/CONCAT). Empty `args` means COUNT(*).
+struct FuncCall : Expr {
+  FuncCall(std::string name, std::vector<ExprPtr> args)
+      : Expr(Kind::kFuncCall), name(std::move(name)), args(std::move(args)) {}
+  std::string ToString() const override {
+    if (args.empty()) return name + "(*)";
+    std::string s = name + "(";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += args[i]->ToString();
+    }
+    return s + ")";
+  }
+
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+// Deep copy (subqueries included).
+ExprPtr CloneExpr(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;            // null when is_star
+  std::string alias;       // optional output name
+  bool is_star = false;    // `*` or `qualifier.*`
+  std::string star_qualifier;
+};
+
+struct TableRef {
+  std::string table;                     // base table / view name
+  std::string alias;                     // optional
+  std::unique_ptr<SelectStmt> subquery;  // derived table (table expression)
+
+  // The name this range variable is known by in predicates.
+  const std::string& BindingName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+
+  // LIMIT n [OFFSET m]; -1 = absent. Applied after ORDER BY.
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  // UNION chain: this SELECT combined with `union_next` (set semantics
+  // unless union_all). ORDER BY / LIMIT of the head apply to the whole
+  // union.
+  std::unique_ptr<SelectStmt> union_next;
+  bool union_all = false;
+
+  std::string ToString() const;
+};
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s);
+
+// ---------------------------------------------------------------------------
+// XNF composite-object constructor
+// ---------------------------------------------------------------------------
+
+// RELATE parent VIA role, child ... [USING ...] [WHERE ...]
+struct RelateDef {
+  std::string parent;
+  std::string role;                  // role name of the parent (VIA clause)
+  std::vector<std::string> children;
+  std::vector<TableRef> using_tables;  // helper tables (e.g. EMPSKILLS)
+  ExprPtr where;                       // relationship predicate
+};
+
+struct XnfDef {
+  enum class Kind { kTable, kRelationship };
+
+  std::string name;
+  Kind kind = Kind::kTable;
+
+  // Reachability override (the paper's fine-grained "reachability
+  // predicate", Sect. 4.1 phase 2): a FREE component keeps all its
+  // candidate rows even when it is the child of a relationship, instead of
+  // being restricted to rows reachable from a parent.
+  bool free_reachability = false;
+
+  // Component-table definitions: exactly one of these forms is set.
+  std::string base_table;                // shortcut `xemp AS EMP`
+  std::unique_ptr<SelectStmt> select;    // `xdept AS (SELECT ...)`
+  // CO composition (closure, Sect. 2): `xemp AS deps_arc.xemp` makes the
+  // extent of component `view_component` of stored XNF view `view_ref`
+  // this component's candidate table.
+  std::string view_ref;
+  std::string view_component;
+
+  // Relationship definition.
+  RelateDef relate;
+};
+
+struct TakeItem {
+  std::string name;                   // component or relationship name
+  std::vector<std::string> columns;   // empty = all columns
+};
+
+struct XnfQuery {
+  std::vector<XnfDef> defs;
+  bool take_all = false;              // TAKE *
+  std::vector<TakeItem> take;
+
+  std::string ToString() const;
+};
+
+std::unique_ptr<XnfQuery> CloneXnf(const XnfQuery& q);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kXnfQuery,
+    kCreateTable,
+    kCreateView,
+    kCreateIndex,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kDropTable,
+    kDropView,
+  };
+
+  explicit Statement(Kind kind) : kind(kind) {}
+  virtual ~Statement() = default;
+
+  Kind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectStatement : Statement {
+  explicit SelectStatement(std::unique_ptr<SelectStmt> s)
+      : Statement(Kind::kSelect), select(std::move(s)) {}
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct XnfStatement : Statement {
+  explicit XnfStatement(std::unique_ptr<XnfQuery> q)
+      : Statement(Kind::kXnfQuery), query(std::move(q)) {}
+  std::unique_ptr<XnfQuery> query;
+};
+
+struct ForeignKeyClause {
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+struct CreateTableStatement : Statement {
+  CreateTableStatement() : Statement(Kind::kCreateTable) {}
+  std::string name;
+  std::vector<Column> columns;
+  std::string primary_key;  // empty if none
+  std::vector<ForeignKeyClause> foreign_keys;
+};
+
+struct CreateViewStatement : Statement {
+  CreateViewStatement() : Statement(Kind::kCreateView) {}
+  std::string name;
+  bool is_xnf = false;
+  std::string definition_text;            // body text after AS (for catalog)
+  std::unique_ptr<SelectStmt> select;     // when !is_xnf
+  std::unique_ptr<XnfQuery> xnf;          // when is_xnf
+};
+
+struct CreateIndexStatement : Statement {
+  CreateIndexStatement() : Statement(Kind::kCreateIndex) {}
+  std::string table;
+  std::string column;
+  bool ordered = false;  // CREATE ORDERED INDEX: tree index (range scans)
+};
+
+struct InsertStatement : Statement {
+  InsertStatement() : Statement(Kind::kInsert) {}
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  // literal-valued expressions
+};
+
+struct UpdateStatement : Statement {
+  UpdateStatement() : Statement(Kind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement : Statement {
+  DeleteStatement() : Statement(Kind::kDelete) {}
+  std::string table;
+  ExprPtr where;
+};
+
+struct DropStatement : Statement {
+  explicit DropStatement(Kind kind) : Statement(kind) {}
+  std::string name;
+};
+
+}  // namespace ast
+}  // namespace xnfdb
+
+#endif  // XNFDB_PARSER_AST_H_

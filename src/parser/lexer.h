@@ -1,0 +1,46 @@
+// Tokenizer for the SQL/XNF dialect.
+//
+// Identifiers and keywords are case-insensitive and normalized to upper
+// case; string literals ('...') preserve case. Comments: `-- to end of line`.
+
+#ifndef XNFDB_PARSER_LEXER_H_
+#define XNFDB_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xnfdb {
+
+enum class TokenType {
+  kIdent,    // identifier or keyword, upper-cased in `text`
+  kInt,      // integer literal, value in `int_value`
+  kDouble,   // floating literal, value in `double_value`
+  kString,   // string literal, unquoted content in `text`
+  kSymbol,   // punctuation / operator, verbatim in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kIdent && text == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+// Tokenizes `input` completely (appends a kEnd token).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_PARSER_LEXER_H_

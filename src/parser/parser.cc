@@ -1,0 +1,752 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "parser/lexer.h"
+
+namespace xnfdb {
+
+namespace {
+
+using ast::Binary;
+using ast::ColumnRef;
+using ast::Exists;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::FuncCall;
+using ast::InSubquery;
+using ast::Like;
+using ast::Literal;
+using ast::OrderItem;
+using ast::RelateDef;
+using ast::SelectItem;
+using ast::SelectStmt;
+using ast::TableRef;
+using ast::TakeItem;
+using ast::Unary;
+using ast::XnfDef;
+using ast::XnfQuery;
+
+bool IsAggregateName(const std::string& name) {
+  return name == "COUNT" || name == "SUM" || name == "MIN" || name == "MAX" ||
+         name == "AVG";
+}
+
+// The recursive-descent parser. One instance per input string.
+class Parser {
+ public:
+  Parser(const std::string& input, std::vector<Token> tokens)
+      : input_(input), tokens_(std::move(tokens)) {}
+
+  Result<ast::StatementPtr> ParseSingleStatement() {
+    XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatementBody());
+    Accept(";");
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return stmt;
+  }
+
+  Result<std::vector<ast::StatementPtr>> ParseAll() {
+    std::vector<ast::StatementPtr> stmts;
+    while (!AtEnd()) {
+      XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatementBody());
+      stmts.push_back(std::move(stmt));
+      if (!Accept(";")) break;
+    }
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return stmts;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectOnly() {
+    XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect());
+    Accept(";");
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return sel;
+  }
+
+  Result<std::unique_ptr<XnfQuery>> ParseXnfOnly() {
+    XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<XnfQuery> q, ParseXnf());
+    Accept(";");
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return q;
+  }
+
+ private:
+  // --- token helpers ------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool Check(const std::string& kw_or_sym) const {
+    return Peek().IsKeyword(kw_or_sym) || Peek().IsSymbol(kw_or_sym);
+  }
+  bool Accept(const std::string& kw_or_sym) {
+    if (Check(kw_or_sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& kw_or_sym) {
+    if (Accept(kw_or_sym)) return Status::Ok();
+    return Error("expected '" + kw_or_sym + "'");
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::ParseError("expected " + what + " near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Status Error(const std::string& msg) const {
+    std::string near;
+    const Token& t = Peek();
+    if (t.type != TokenType::kEnd) near = " near '" + t.text + "'";
+    return Status::ParseError(msg + near + " (offset " +
+                              std::to_string(t.offset) + ")");
+  }
+
+  // --- statements ----------------------------------------------------------
+  Result<ast::StatementPtr> ParseStatementBody() {
+    if (Check("SELECT")) {
+      XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect());
+      return ast::StatementPtr(
+          std::make_unique<ast::SelectStatement>(std::move(sel)));
+    }
+    if (Check("OUT")) {
+      XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<XnfQuery> q, ParseXnf());
+      return ast::StatementPtr(
+          std::make_unique<ast::XnfStatement>(std::move(q)));
+    }
+    if (Accept("CREATE")) {
+      if (Accept("TABLE")) return ParseCreateTable();
+      if (Accept("VIEW")) return ParseCreateView();
+      if (Accept("INDEX")) return ParseCreateIndex(false);
+      if (Accept("ORDERED")) {
+        XNFDB_RETURN_IF_ERROR(Expect("INDEX"));
+        return ParseCreateIndex(true);
+      }
+      return Error("expected TABLE, VIEW or INDEX after CREATE");
+    }
+    if (Accept("DROP")) {
+      bool is_table = Accept("TABLE");
+      if (!is_table) XNFDB_RETURN_IF_ERROR(Expect("VIEW"));
+      auto stmt = std::make_unique<ast::DropStatement>(
+          is_table ? ast::Statement::Kind::kDropTable
+                   : ast::Statement::Kind::kDropView);
+      XNFDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("name"));
+      return ast::StatementPtr(std::move(stmt));
+    }
+    if (Accept("INSERT")) return ParseInsert();
+    if (Accept("UPDATE")) return ParseUpdate();
+    if (Accept("DELETE")) return ParseDelete();
+    return Error("expected a statement");
+  }
+
+  Result<ast::StatementPtr> ParseCreateTable() {
+    auto stmt = std::make_unique<ast::CreateTableStatement>();
+    XNFDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("table name"));
+    XNFDB_RETURN_IF_ERROR(Expect("("));
+    while (true) {
+      if (Accept("PRIMARY")) {
+        XNFDB_RETURN_IF_ERROR(Expect("KEY"));
+        XNFDB_RETURN_IF_ERROR(Expect("("));
+        XNFDB_ASSIGN_OR_RETURN(stmt->primary_key, ExpectIdent("PK column"));
+        XNFDB_RETURN_IF_ERROR(Expect(")"));
+      } else if (Accept("FOREIGN")) {
+        XNFDB_RETURN_IF_ERROR(Expect("KEY"));
+        XNFDB_RETURN_IF_ERROR(Expect("("));
+        ast::ForeignKeyClause fk;
+        XNFDB_ASSIGN_OR_RETURN(fk.column, ExpectIdent("FK column"));
+        XNFDB_RETURN_IF_ERROR(Expect(")"));
+        XNFDB_RETURN_IF_ERROR(Expect("REFERENCES"));
+        XNFDB_ASSIGN_OR_RETURN(fk.ref_table, ExpectIdent("referenced table"));
+        XNFDB_RETURN_IF_ERROR(Expect("("));
+        XNFDB_ASSIGN_OR_RETURN(fk.ref_column, ExpectIdent("referenced column"));
+        XNFDB_RETURN_IF_ERROR(Expect(")"));
+        stmt->foreign_keys.push_back(std::move(fk));
+      } else {
+        Column col;
+        XNFDB_ASSIGN_OR_RETURN(col.name, ExpectIdent("column name"));
+        XNFDB_ASSIGN_OR_RETURN(col.type, ParseType());
+        stmt->columns.push_back(std::move(col));
+      }
+      if (!Accept(",")) break;
+    }
+    XNFDB_RETURN_IF_ERROR(Expect(")"));
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  Result<DataType> ParseType() {
+    XNFDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent("type name"));
+    DataType type;
+    if (name == "INTEGER" || name == "INT" || name == "BIGINT") {
+      type = DataType::kInt;
+    } else if (name == "DOUBLE" || name == "FLOAT" || name == "REAL") {
+      type = DataType::kDouble;
+    } else if (name == "VARCHAR" || name == "CHAR" || name == "TEXT" ||
+               name == "STRING") {
+      type = DataType::kString;
+    } else if (name == "BOOLEAN" || name == "BOOL") {
+      type = DataType::kBool;
+    } else {
+      return Status::ParseError("unknown type '" + name + "'");
+    }
+    // Optional length, e.g. VARCHAR(30); accepted and ignored.
+    if (Accept("(")) {
+      if (Peek().type == TokenType::kInt) Advance();
+      XNFDB_RETURN_IF_ERROR(Expect(")"));
+    }
+    return type;
+  }
+
+  Result<ast::StatementPtr> ParseCreateView() {
+    auto stmt = std::make_unique<ast::CreateViewStatement>();
+    XNFDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("view name"));
+    XNFDB_RETURN_IF_ERROR(Expect("AS"));
+    size_t body_start = Peek().offset;
+    if (Check("OUT")) {
+      stmt->is_xnf = true;
+      XNFDB_ASSIGN_OR_RETURN(stmt->xnf, ParseXnf());
+    } else if (Check("SELECT")) {
+      XNFDB_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    } else {
+      return Error("expected SELECT or OUT OF after CREATE VIEW ... AS");
+    }
+    size_t body_end =
+        AtEnd() || Peek().IsSymbol(";") ? Peek().offset : input_.size();
+    stmt->definition_text = input_.substr(body_start, body_end - body_start);
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  Result<ast::StatementPtr> ParseCreateIndex(bool ordered) {
+    auto stmt = std::make_unique<ast::CreateIndexStatement>();
+    stmt->ordered = ordered;
+    // Optional index name, ignored: CREATE INDEX [name] ON t(c).
+    if (Peek().type == TokenType::kIdent && !Check("ON")) Advance();
+    XNFDB_RETURN_IF_ERROR(Expect("ON"));
+    XNFDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    XNFDB_RETURN_IF_ERROR(Expect("("));
+    XNFDB_ASSIGN_OR_RETURN(stmt->column, ExpectIdent("column name"));
+    XNFDB_RETURN_IF_ERROR(Expect(")"));
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  Result<ast::StatementPtr> ParseInsert() {
+    XNFDB_RETURN_IF_ERROR(Expect("INTO"));
+    auto stmt = std::make_unique<ast::InsertStatement>();
+    XNFDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    XNFDB_RETURN_IF_ERROR(Expect("VALUES"));
+    while (true) {
+      XNFDB_RETURN_IF_ERROR(Expect("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!Accept(",")) break;
+      }
+      XNFDB_RETURN_IF_ERROR(Expect(")"));
+      stmt->rows.push_back(std::move(row));
+      if (!Accept(",")) break;
+    }
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  Result<ast::StatementPtr> ParseUpdate() {
+    auto stmt = std::make_unique<ast::UpdateStatement>();
+    XNFDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    XNFDB_RETURN_IF_ERROR(Expect("SET"));
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      XNFDB_RETURN_IF_ERROR(Expect("="));
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+      if (!Accept(",")) break;
+    }
+    if (Accept("WHERE")) {
+      XNFDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  Result<ast::StatementPtr> ParseDelete() {
+    XNFDB_RETURN_IF_ERROR(Expect("FROM"));
+    auto stmt = std::make_unique<ast::DeleteStatement>();
+    XNFDB_ASSIGN_OR_RETURN(stmt->table, ExpectIdent("table name"));
+    if (Accept("WHERE")) {
+      XNFDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return ast::StatementPtr(std::move(stmt));
+  }
+
+  // --- SELECT ---------------------------------------------------------------
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    XNFDB_RETURN_IF_ERROR(Expect("SELECT"));
+    auto sel = std::make_unique<SelectStmt>();
+    sel->distinct = Accept("DISTINCT");
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      sel->items.push_back(std::move(item));
+      if (!Accept(",")) break;
+    }
+    if (Accept("FROM")) {
+      while (true) {
+        XNFDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        sel->from.push_back(std::move(ref));
+        if (!Accept(",")) break;
+      }
+    }
+    if (Accept("WHERE")) {
+      XNFDB_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (Accept("GROUP")) {
+      XNFDB_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+        if (!Accept(",")) break;
+      }
+    }
+    if (Accept("HAVING")) {
+      XNFDB_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (Accept("UNION")) {
+      sel->union_all = Accept("ALL");
+      XNFDB_ASSIGN_OR_RETURN(sel->union_next, ParseSelect());
+      // ORDER BY / LIMIT of the trailing member bind to the whole chain.
+      if (sel->union_next != nullptr) {
+        sel->order_by = std::move(sel->union_next->order_by);
+        sel->limit = sel->union_next->limit;
+        sel->offset = sel->union_next->offset;
+        sel->union_next->limit = -1;
+        sel->union_next->offset = 0;
+      }
+      return sel;
+    }
+    if (Accept("ORDER")) {
+      XNFDB_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        OrderItem item;
+        XNFDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept("DESC")) {
+          item.descending = true;
+        } else {
+          Accept("ASC");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!Accept(",")) break;
+      }
+    }
+    if (Accept("LIMIT")) {
+      if (Peek().type != TokenType::kInt) {
+        return Status::ParseError("LIMIT requires an integer literal");
+      }
+      sel->limit = Advance().int_value;
+      if (Accept("OFFSET")) {
+        if (Peek().type != TokenType::kInt) {
+          return Status::ParseError("OFFSET requires an integer literal");
+        }
+        sel->offset = Advance().int_value;
+      }
+    }
+    return sel;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Accept("*")) {
+      item.is_star = true;
+      return item;
+    }
+    // `qualifier.*`
+    if (Peek().type == TokenType::kIdent && Peek(1).IsSymbol(".") &&
+        Peek(2).IsSymbol("*")) {
+      item.is_star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return item;
+    }
+    XNFDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (Accept("AS")) {
+      XNFDB_ASSIGN_OR_RETURN(item.alias, ExpectIdent("column alias"));
+    } else if (Peek().type == TokenType::kIdent && !IsClauseKeyword()) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  // True when the next identifier starts a clause rather than an alias.
+  bool IsClauseKeyword() const {
+    static const char* kKeywords[] = {"FROM",   "WHERE", "GROUP",  "ORDER",
+                                      "HAVING", "UNION", "LIMIT",  "OFFSET",
+                                      "TAKE",   "OUT",   "USING",  "VIA",
+                                      "RELATE"};
+    for (const char* kw : kKeywords) {
+      if (Peek().IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Accept("(")) {
+      XNFDB_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      XNFDB_RETURN_IF_ERROR(Expect(")"));
+    } else {
+      XNFDB_ASSIGN_OR_RETURN(ref.table, ExpectIdent("table name"));
+    }
+    if (Accept("AS")) {
+      XNFDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+    } else if (Peek().type == TokenType::kIdent && !IsClauseKeyword()) {
+      ref.alias = Advance().text;
+    }
+    if (ref.subquery && ref.alias.empty()) {
+      return Status::ParseError("derived table requires an alias");
+    }
+    return ref;
+  }
+
+  // --- XNF -------------------------------------------------------------------
+  Result<std::unique_ptr<XnfQuery>> ParseXnf() {
+    XNFDB_RETURN_IF_ERROR(Expect("OUT"));
+    XNFDB_RETURN_IF_ERROR(Expect("OF"));
+    auto q = std::make_unique<XnfQuery>();
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(XnfDef def, ParseXnfDef());
+      q->defs.push_back(std::move(def));
+      if (!Accept(",")) break;
+    }
+    XNFDB_RETURN_IF_ERROR(Expect("TAKE"));
+    if (Accept("*")) {
+      q->take_all = true;
+      return q;
+    }
+    while (true) {
+      TakeItem item;
+      XNFDB_ASSIGN_OR_RETURN(item.name, ExpectIdent("TAKE item"));
+      if (Accept("(")) {
+        while (true) {
+          XNFDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column"));
+          item.columns.push_back(std::move(col));
+          if (!Accept(",")) break;
+        }
+        XNFDB_RETURN_IF_ERROR(Expect(")"));
+      }
+      q->take.push_back(std::move(item));
+      if (!Accept(",")) break;
+    }
+    return q;
+  }
+
+  Result<XnfDef> ParseXnfDef() {
+    XnfDef def;
+    XNFDB_ASSIGN_OR_RETURN(def.name, ExpectIdent("XNF component name"));
+    XNFDB_RETURN_IF_ERROR(Expect("AS"));
+    // Reachability override: `x AS FREE EMP` / `x AS FREE (SELECT ...)`.
+    def.free_reachability = Accept("FREE");
+    if (Accept("(")) {
+      if (Check("RELATE")) {
+        def.kind = XnfDef::Kind::kRelationship;
+        XNFDB_ASSIGN_OR_RETURN(def.relate, ParseRelate());
+      } else if (Check("SELECT")) {
+        def.kind = XnfDef::Kind::kTable;
+        XNFDB_ASSIGN_OR_RETURN(def.select, ParseSelect());
+      } else {
+        return Status::ParseError(
+            "expected SELECT or RELATE in XNF definition of " + def.name);
+      }
+      XNFDB_RETURN_IF_ERROR(Expect(")"));
+      return def;
+    }
+    // Shortcut `xemp AS EMP`, or composition `xemp AS view.component`.
+    def.kind = XnfDef::Kind::kTable;
+    XNFDB_ASSIGN_OR_RETURN(def.base_table, ExpectIdent("base table name"));
+    if (Accept(".")) {
+      def.view_ref = std::move(def.base_table);
+      def.base_table.clear();
+      XNFDB_ASSIGN_OR_RETURN(def.view_component,
+                             ExpectIdent("view component name"));
+    }
+    return def;
+  }
+
+  Result<RelateDef> ParseRelate() {
+    XNFDB_RETURN_IF_ERROR(Expect("RELATE"));
+    RelateDef rel;
+    XNFDB_ASSIGN_OR_RETURN(rel.parent, ExpectIdent("parent component"));
+    if (Accept("VIA")) {
+      XNFDB_ASSIGN_OR_RETURN(rel.role, ExpectIdent("role name"));
+    }
+    while (Accept(",")) {
+      XNFDB_ASSIGN_OR_RETURN(std::string child,
+                             ExpectIdent("child component"));
+      rel.children.push_back(std::move(child));
+    }
+    if (rel.children.empty()) {
+      return Status::ParseError("relationship of " + rel.parent +
+                                " needs at least one child component");
+    }
+    if (Accept("USING")) {
+      while (true) {
+        TableRef ref;
+        XNFDB_ASSIGN_OR_RETURN(ref.table, ExpectIdent("USING table"));
+        if (Peek().type == TokenType::kIdent && !Check("WHERE") &&
+            !IsClauseKeyword()) {
+          ref.alias = Advance().text;
+        }
+        rel.using_tables.push_back(std::move(ref));
+        if (!Accept(",")) break;
+      }
+    }
+    if (Accept("WHERE")) {
+      XNFDB_ASSIGN_OR_RETURN(rel.where, ParseExpr());
+    }
+    return rel;
+  }
+
+  // --- expressions -----------------------------------------------------------
+  // Precedence: OR < AND < NOT < comparison/LIKE/IN < additive < term < unary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    XNFDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Accept("OR")) {
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<Binary>("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XNFDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Accept("AND")) {
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<Binary>("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return ExprPtr(std::make_unique<Unary>("NOT", std::move(e)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XNFDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    static const char* kOps[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kOps) {
+      if (Accept(op)) {
+        XNFDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return ExprPtr(
+            std::make_unique<Binary>(op, std::move(lhs), std::move(rhs)));
+      }
+    }
+    bool negated = false;
+    if (Check("NOT") && (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+                         Peek(1).IsKeyword("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+    if (Accept("LIKE")) {
+      if (Peek().type != TokenType::kString) {
+        return Status::ParseError("LIKE requires a string literal pattern");
+      }
+      std::string pattern = Advance().text;
+      return ExprPtr(
+          std::make_unique<Like>(std::move(lhs), std::move(pattern), negated));
+    }
+    if (Accept("BETWEEN")) {
+      // a BETWEEN x AND y  =>  a >= x AND a <= y (negated: wrapped in NOT).
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      XNFDB_RETURN_IF_ERROR(Expect("AND"));
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr lhs2 = ast::CloneExpr(*lhs);
+      ExprPtr range = std::make_unique<Binary>(
+          "AND",
+          std::make_unique<Binary>(">=", std::move(lhs), std::move(lo)),
+          std::make_unique<Binary>("<=", std::move(lhs2), std::move(hi)));
+      if (negated) {
+        return ExprPtr(std::make_unique<Unary>("NOT", std::move(range)));
+      }
+      return range;
+    }
+    if (Accept("IN")) {
+      XNFDB_RETURN_IF_ERROR(Expect("("));
+      if (Check("SELECT")) {
+        XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+        XNFDB_RETURN_IF_ERROR(Expect(")"));
+        return ExprPtr(std::make_unique<InSubquery>(std::move(lhs),
+                                                    std::move(sub), negated));
+      }
+      // Value list: a IN (e1, e2, ...) => a = e1 OR a = e2 OR ...
+      ExprPtr chain;
+      while (true) {
+        XNFDB_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        ExprPtr eq = std::make_unique<Binary>("=", ast::CloneExpr(*lhs),
+                                              std::move(item));
+        chain = chain == nullptr
+                    ? std::move(eq)
+                    : ExprPtr(std::make_unique<Binary>("OR", std::move(chain),
+                                                       std::move(eq)));
+        if (!Accept(",")) break;
+      }
+      XNFDB_RETURN_IF_ERROR(Expect(")"));
+      if (negated) {
+        return ExprPtr(std::make_unique<Unary>("NOT", std::move(chain)));
+      }
+      return chain;
+    }
+    if (negated) {
+      return Status::ParseError("expected LIKE, IN or BETWEEN after NOT");
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XNFDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (Check("+") || Check("-")) {
+      std::string op = Advance().text;
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+      lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    XNFDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Check("*") || Check("/")) {
+      std::string op = Advance().text;
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept("-")) {
+      XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return ExprPtr(std::make_unique<Unary>("-", std::move(e)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        int64_t v = Advance().int_value;
+        return ExprPtr(std::make_unique<Literal>(Value(v)));
+      }
+      case TokenType::kDouble: {
+        double v = Advance().double_value;
+        return ExprPtr(std::make_unique<Literal>(Value(v)));
+      }
+      case TokenType::kString: {
+        std::string v = Advance().text;
+        return ExprPtr(std::make_unique<Literal>(Value(std::move(v))));
+      }
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          XNFDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          XNFDB_RETURN_IF_ERROR(Expect(")"));
+          return e;
+        }
+        break;
+      case TokenType::kIdent: {
+        if (t.text == "NULL") {
+          Advance();
+          return ExprPtr(std::make_unique<Literal>(Value::Null()));
+        }
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          bool v = Advance().text == "TRUE";
+          return ExprPtr(std::make_unique<Literal>(Value(v)));
+        }
+        if (t.text == "EXISTS") {
+          Advance();
+          XNFDB_RETURN_IF_ERROR(Expect("("));
+          XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub,
+                                 ParseSelect());
+          XNFDB_RETURN_IF_ERROR(Expect(")"));
+          return ExprPtr(std::make_unique<Exists>(std::move(sub)));
+        }
+        if (Peek(1).IsSymbol("(")) {
+          // Function call: aggregate or scalar. `*` is only COUNT(*).
+          std::string name = Advance().text;
+          Advance();  // '('
+          std::vector<ExprPtr> args;
+          if (Accept("*")) {
+            if (name != "COUNT") {
+              return Status::ParseError("'*' argument is only valid in "
+                                        "COUNT(*)");
+            }
+          } else if (!Check(")")) {
+            while (true) {
+              XNFDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (!Accept(",")) break;
+            }
+          }
+          XNFDB_RETURN_IF_ERROR(Expect(")"));
+          if (IsAggregateName(name) && args.size() > 1) {
+            return Status::ParseError(name + " takes one argument");
+          }
+          return ExprPtr(std::make_unique<FuncCall>(name, std::move(args)));
+        }
+        // Column reference: ident or ident.ident.
+        std::string first = Advance().text;
+        if (Accept(".")) {
+          XNFDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+          return ExprPtr(std::make_unique<ColumnRef>(first, std::move(col)));
+        }
+        return ExprPtr(std::make_unique<ColumnRef>("", std::move(first)));
+      }
+      default:
+        break;
+    }
+    return Status::ParseError("expected an expression near offset " +
+                              std::to_string(t.offset));
+  }
+
+  const std::string& input_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ast::StatementPtr> ParseStatement(const std::string& sql) {
+  XNFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(sql, std::move(tokens));
+  return p.ParseSingleStatement();
+}
+
+Result<std::vector<ast::StatementPtr>> ParseScript(const std::string& sql) {
+  XNFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(sql, std::move(tokens));
+  return p.ParseAll();
+}
+
+Result<std::unique_ptr<ast::SelectStmt>> ParseSelectQuery(
+    const std::string& sql) {
+  XNFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(sql, std::move(tokens));
+  return p.ParseSelectOnly();
+}
+
+Result<std::unique_ptr<ast::XnfQuery>> ParseXnfQuery(const std::string& sql) {
+  XNFDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(sql, std::move(tokens));
+  return p.ParseXnfOnly();
+}
+
+}  // namespace xnfdb

@@ -1,0 +1,30 @@
+// Recursive-descent parser for the SQL/XNF dialect (grammar in ast.h).
+
+#ifndef XNFDB_PARSER_PARSER_H_
+#define XNFDB_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace xnfdb {
+
+// Parses a single statement (trailing ';' optional).
+Result<ast::StatementPtr> ParseStatement(const std::string& sql);
+
+// Parses a ';'-separated script.
+Result<std::vector<ast::StatementPtr>> ParseScript(const std::string& sql);
+
+// Parses exactly one SELECT query.
+Result<std::unique_ptr<ast::SelectStmt>> ParseSelectQuery(
+    const std::string& sql);
+
+// Parses exactly one XNF (OUT OF ... TAKE ...) query.
+Result<std::unique_ptr<ast::XnfQuery>> ParseXnfQuery(const std::string& sql);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_PARSER_PARSER_H_

@@ -1,0 +1,131 @@
+#include "qgm/dot.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace xnfdb {
+namespace qgm {
+
+namespace {
+
+// DOT-escapes record-label text.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::set<int> LiveBoxes(const QueryGraph& graph) {
+  std::set<int> live;
+  std::vector<int> work;
+  if (graph.top_box_id() >= 0) {
+    work.push_back(graph.top_box_id());
+    // Before the XNF semantic rewrite the Top box has no outputs yet; the
+    // XNF operator boxes anchor the graph instead.
+    for (size_t i = 0; i < graph.box_count(); ++i) {
+      const Box* b = graph.box(static_cast<int>(i));
+      if (!graph.IsDead(b->id) && b->kind == BoxKind::kXnf) {
+        work.push_back(b->id);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < graph.box_count(); ++i) {
+      if (!graph.IsDead(static_cast<int>(i))) {
+        work.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  while (!work.empty()) {
+    int id = work.back();
+    work.pop_back();
+    if (id < 0 || graph.IsDead(id) || !live.insert(id).second) continue;
+    const Box* b = graph.box(id);
+    for (const Quantifier& q : b->quants) work.push_back(q.box_id);
+    for (int in : b->union_inputs) work.push_back(in);
+    for (const TopOutput& o : b->outputs) work.push_back(o.box_id);
+    for (const XnfComponent& c : b->components) work.push_back(c.box_id);
+  }
+  return live;
+}
+
+}  // namespace
+
+std::string ToDot(const QueryGraph& graph) {
+  std::ostringstream os;
+  os << "digraph qgm {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=record, fontsize=10];\n";
+  std::set<int> live = LiveBoxes(graph);
+
+  for (int id : live) {
+    const Box* b = graph.box(id);
+    std::ostringstream label;
+    label << BoxKindName(b->kind) << " " << id;
+    if (!b->label.empty()) label << " '" << Escape(b->label) << "'";
+    if (b->distinct) label << " DISTINCT";
+    if (b->kind == BoxKind::kBaseTable) {
+      label << "|" << Escape(b->table_name);
+    }
+    if (!b->head.empty()) {
+      label << "|head:";
+      for (size_t i = 0; i < b->head.size(); ++i) {
+        if (i > 0) label << ", ";
+        label << Escape(b->head[i].name);
+      }
+    }
+    for (const ExprPtr& p : b->preds) {
+      label << "|" << Escape(p->ToString(&graph));
+    }
+    for (size_t gi = 0; gi < b->exists_groups.size(); ++gi) {
+      const ExistsGroup& g = b->exists_groups[gi];
+      label << "|" << (g.negated ? "NOT " : "") << "EXISTS["
+            << gi << "]";
+      for (const ExprPtr& p : g.preds) {
+        label << " " << Escape(p->ToString(&graph));
+      }
+    }
+    for (const XnfComponent& c : b->components) {
+      label << "|" << Escape(c.name)
+            << (c.is_relationship ? " (rel)" : "")
+            << (c.reachable ? " R" : "") << (c.is_root ? " root" : "");
+    }
+    os << "  b" << id << " [label=\"{" << label.str() << "}\"";
+    if (b->kind == BoxKind::kXnf) os << ", style=filled, fillcolor=gray90";
+    if (b->kind == BoxKind::kTop) os << ", style=bold";
+    os << "];\n";
+  }
+
+  for (int id : live) {
+    const Box* b = graph.box(id);
+    for (const Quantifier& q : b->quants) {
+      bool existential = q.kind == QuantKind::kExists;
+      os << "  b" << id << " -> b" << q.box_id << " [label=\""
+         << Escape(q.name) << (existential ? " (E)" : " (F)") << "\""
+         << (existential ? ", style=dashed" : "") << "];\n";
+    }
+    for (int in : b->union_inputs) {
+      os << "  b" << id << " -> b" << in << " [label=\"union\"];\n";
+    }
+    for (const TopOutput& o : b->outputs) {
+      os << "  b" << id << " -> b" << o.box_id << " [label=\""
+         << Escape(o.name) << (o.is_connection ? " (conn)" : "")
+         << "\", style=bold];\n";
+    }
+    for (const XnfComponent& c : b->components) {
+      os << "  b" << id << " -> b" << c.box_id << " [label=\""
+         << Escape(c.name) << "\", color=gray50];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qgm
+}  // namespace xnfdb

@@ -1,0 +1,25 @@
+// Graphviz (DOT) rendering of a query graph — the tool-of-choice for
+// visualizing the Fig. 3/4/5 box diagrams of the paper. Render with e.g.
+// `dot -Tsvg graph.dot -o graph.svg`.
+
+#ifndef XNFDB_QGM_DOT_H_
+#define XNFDB_QGM_DOT_H_
+
+#include <string>
+
+#include "qgm/qgm.h"
+
+namespace xnfdb {
+namespace qgm {
+
+// Renders all live boxes reachable from the Top box (or every live box if
+// the graph has no Top). Boxes become record nodes listing head columns and
+// predicates; quantifier edges are labelled F/E (dashed for existential),
+// union inputs and Top outputs get their own edge styles, and XNF
+// components are annotated with their reachability marks.
+std::string ToDot(const QueryGraph& graph);
+
+}  // namespace qgm
+}  // namespace xnfdb
+
+#endif  // XNFDB_QGM_DOT_H_

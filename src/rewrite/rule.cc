@@ -1,0 +1,54 @@
+#include "rewrite/rule.h"
+
+#include <sstream>
+
+namespace xnfdb {
+
+int RewriteStats::TotalFirings() const {
+  int total = 0;
+  for (const RuleFiring& f : firings) total += f.fired;
+  return total;
+}
+
+std::string RewriteStats::ToString() const {
+  std::ostringstream os;
+  os << "rewrite passes=" << passes;
+  for (const RuleFiring& f : firings) {
+    if (f.fired > 0) os << " " << f.rule << "=" << f.fired;
+  }
+  return os.str();
+}
+
+Result<RewriteStats> RuleEngine::Run(qgm::QueryGraph* graph, int max_passes) {
+  RewriteStats stats;
+  for (const auto& rule : rules_) {
+    stats.firings.push_back(RuleFiring{rule->name(), 0});
+  }
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++stats.passes;
+    bool any = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      // A rule keeps the floor as long as it fires, like the Starburst
+      // rule engine's budgeted repetition.
+      while (true) {
+        XNFDB_ASSIGN_OR_RETURN(bool fired, rules_[i]->Apply(graph));
+        if (!fired) break;
+        ++stats.firings[i].fired;
+        any = true;
+#ifndef NDEBUG
+        XNFDB_RETURN_IF_ERROR(graph->Validate());
+#endif
+        if (stats.firings[i].fired > 10000) {
+          return Status::Internal(std::string("rewrite rule '") +
+                                  rules_[i]->name() +
+                                  "' does not terminate");
+        }
+      }
+    }
+    if (!any) break;
+  }
+  XNFDB_RETURN_IF_ERROR(graph->Validate());
+  return stats;
+}
+
+}  // namespace xnfdb

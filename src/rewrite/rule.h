@@ -1,0 +1,61 @@
+// The rule-based rewrite engine (paper Sect. 3.2 / 4.4).
+//
+// Rewrite transformations are condition/action rules applied to the QGM
+// graph until a fixed point (no rule fires) or the budget is exhausted —
+// following the Starburst query-rewrite architecture of [17, 39]. Both the
+// NF rewrite component and the XNF semantic rewrite component use this same
+// representation and engine (Sect. 4.4: "both use the same rule
+// representation mechanism as well as the same rule engine").
+
+#ifndef XNFDB_REWRITE_RULE_H_
+#define XNFDB_REWRITE_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qgm/qgm.h"
+
+namespace xnfdb {
+
+// One rewrite rule. `Apply` scans the graph, performs at most a bounded
+// amount of rewriting, and reports whether anything changed.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+  virtual const char* name() const = 0;
+  virtual Result<bool> Apply(qgm::QueryGraph* graph) = 0;
+};
+
+// Per-rule firing statistics of one engine run.
+struct RuleFiring {
+  std::string rule;
+  int fired = 0;
+};
+
+struct RewriteStats {
+  std::vector<RuleFiring> firings;
+  int passes = 0;
+
+  int TotalFirings() const;
+  std::string ToString() const;
+};
+
+// Runs `rules` over `graph` to a fixed point (bounded by `max_passes`).
+// Rules are retried in order on every pass; a pass that fires no rule ends
+// the run. Validates the graph after every firing in debug builds.
+class RuleEngine {
+ public:
+  explicit RuleEngine(std::vector<std::unique_ptr<RewriteRule>> rules)
+      : rules_(std::move(rules)) {}
+
+  Result<RewriteStats> Run(qgm::QueryGraph* graph, int max_passes = 32);
+
+ private:
+  std::vector<std::unique_ptr<RewriteRule>> rules_;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_REWRITE_RULE_H_

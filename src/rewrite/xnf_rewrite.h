@@ -1,0 +1,49 @@
+// XNF semantic rewrite (paper Sect. 4.2): lowers the XNF operator box into
+// plain NF QGM, replacing XNF semantics (reachability, connections,
+// heterogeneous output) by ordinary select/join/union boxes plus a Top box
+// with multiple tagged output streams.
+//
+// Two strategies are provided:
+//
+//  * shared (default) — the paper's approach: the join that makes a child
+//    component reachable from its parent *is* the relationship derivation
+//    ("the resulting tuple stream gives both the xemp output tuples as well
+//    as the employment output information", Sect. 4.2). Every relationship
+//    produces one connection box; child components are distinct projections
+//    (or unions of projections) of the connection boxes. This realizes the
+//    common-subexpression optimality of Table 1.
+//
+//  * unshared — each component/relationship output derived independently
+//    (the "SQL derivation" of Fig. 6): children carry existential
+//    reachability groups which the NF rules may later convert to joins
+//    (Fig. 5a -> 5b). Used as the comparison baseline and for ablations.
+
+#ifndef XNFDB_REWRITE_XNF_REWRITE_H_
+#define XNFDB_REWRITE_XNF_REWRITE_H_
+
+#include "common/status.h"
+#include "qgm/qgm.h"
+
+namespace xnfdb {
+
+struct XnfRewriteOptions {
+  // true  => shared connection boxes (paper default),
+  // false => independent derivations (Fig. 6 baseline).
+  bool share_connection_boxes = true;
+};
+
+// True if the graph contains a live XNF operator box.
+bool IsXnfGraph(const qgm::QueryGraph& graph);
+
+// True if the XNF schema graph has a cycle (recursive CO). Recursive COs
+// are evaluated by the fixpoint driver in xnf/ instead of this rewrite.
+bool XnfHasCycle(const qgm::QueryGraph& graph);
+
+// Performs the rewrite in place. No-op for graphs without an XNF box.
+// Fails with kUnsupported for cyclic (recursive) XNF queries.
+Status XnfSemanticRewrite(qgm::QueryGraph* graph,
+                          const XnfRewriteOptions& options = {});
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_REWRITE_XNF_REWRITE_H_

@@ -1,0 +1,41 @@
+// Semantic analysis: translates the AST into QGM.
+//
+// This is the analogue of CORONA's first compilation stage (paper Fig. 2).
+// `BuildSelect` produces a normal-form (NF) QGM graph for a plain SQL query;
+// `BuildXnf` runs the three XNF semantic phases of Sect. 4.1 and produces an
+// XNF QGM graph: an XNF operator box enclosing the component and relationship
+// boxes (Fig. 4), plus the Top box. The XNF graph is lowered to NF QGM by the
+// XNF semantic rewrite (rewrite/xnf_rewrite.h).
+
+#ifndef XNFDB_SEMANTICS_BUILDER_H_
+#define XNFDB_SEMANTICS_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+#include "qgm/qgm.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+// Builds the QGM graph for a SELECT query. SQL views referenced in FROM are
+// expanded inline; referencing an XNF view from SQL is a semantic error.
+Result<std::unique_ptr<qgm::QueryGraph>> BuildSelect(
+    const Catalog& catalog, const ast::SelectStmt& select);
+
+// Builds the XNF QGM graph for an XNF query (phases 0-3 of Sect. 4.1).
+Result<std::unique_ptr<qgm::QueryGraph>> BuildXnf(const Catalog& catalog,
+                                                  const ast::XnfQuery& query);
+
+// Translates a scalar AST expression in the context of an existing box.
+// Exposed for tests and for the cache's write-back compiler.
+// (Name resolution is against the box's foreach quantifiers.)
+Result<qgm::ExprPtr> TranslateExprForBox(const qgm::QueryGraph& graph,
+                                         const qgm::Box& box,
+                                         const ast::Expr& expr);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_SEMANTICS_BUILDER_H_

@@ -1,0 +1,148 @@
+#include "storage/catalog.h"
+
+#include "common/schema.h"
+
+namespace xnfdb {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToUpperIdent(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table " + key + " already exists");
+  }
+  if (views_.count(key) != 0) {
+    return Status::AlreadyExists("a view named " + key + " already exists");
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpperIdent(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + ToUpperIdent(name) + " does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToUpperIdent(name)) != 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToUpperIdent(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table " + key + " does not exist");
+  }
+  primary_keys_.erase(key);
+  for (auto it = foreign_keys_.begin(); it != foreign_keys_.end();) {
+    if (IdentEquals(it->table, key) || IdentEquals(it->ref_table, key)) {
+      it = foreign_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::CreateView(ViewDef def) {
+  std::string key = ToUpperIdent(def.name);
+  if (views_.count(key) != 0 || tables_.count(key) != 0) {
+    return Status::AlreadyExists("view or table " + key + " already exists");
+  }
+  def.name = key;
+  views_[key] = std::move(def);
+  return Status::Ok();
+}
+
+Result<const ViewDef*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(ToUpperIdent(name));
+  if (it == views_.end()) {
+    return Status::NotFound("view " + ToUpperIdent(name) + " does not exist");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(ToUpperIdent(name)) != 0;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(ToUpperIdent(name)) == 0) {
+    return Status::NotFound("view " + ToUpperIdent(name) + " does not exist");
+  }
+  return Status::Ok();
+}
+
+std::vector<const ViewDef*> Catalog::Views() const {
+  std::vector<const ViewDef*> out;
+  for (const auto& [name, def] : views_) out.push_back(&def);
+  return out;
+}
+
+Status Catalog::DeclarePrimaryKey(const std::string& table,
+                                  const std::string& column) {
+  XNFDB_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  if (t->schema().FindColumn(column) < 0) {
+    return Status::NotFound("PK column " + column + " not in table " +
+                            t->name());
+  }
+  primary_keys_[t->name()] = ToUpperIdent(column);
+  // A PK lookup path is valuable; index it eagerly.
+  return t->CreateIndex(column);
+}
+
+int Catalog::PrimaryKeyColumn(const std::string& table) const {
+  auto it = primary_keys_.find(ToUpperIdent(table));
+  if (it == primary_keys_.end()) return -1;
+  auto table_it = tables_.find(ToUpperIdent(table));
+  if (table_it == tables_.end()) return -1;
+  return table_it->second->schema().FindColumn(it->second);
+}
+
+Status Catalog::DeclareForeignKey(ForeignKey fk) {
+  XNFDB_ASSIGN_OR_RETURN(Table * t, GetTable(fk.table));
+  XNFDB_ASSIGN_OR_RETURN(Table * ref, GetTable(fk.ref_table));
+  if (t->schema().FindColumn(fk.column) < 0) {
+    return Status::NotFound("FK column " + fk.column + " not in table " +
+                            t->name());
+  }
+  if (ref->schema().FindColumn(fk.ref_column) < 0) {
+    return Status::NotFound("FK target column " + fk.ref_column +
+                            " not in table " + ref->name());
+  }
+  fk.table = t->name();
+  fk.column = ToUpperIdent(fk.column);
+  fk.ref_table = ref->name();
+  fk.ref_column = ToUpperIdent(fk.ref_column);
+  foreign_keys_.push_back(std::move(fk));
+  return Status::Ok();
+}
+
+std::vector<ForeignKey> Catalog::ForeignKeysOf(const std::string& table) const {
+  std::vector<ForeignKey> out;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (IdentEquals(fk.table, table)) out.push_back(fk);
+  }
+  return out;
+}
+
+const ForeignKey* Catalog::FindForeignKey(const std::string& table,
+                                          const std::string& column) const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (IdentEquals(fk.table, table) && IdentEquals(fk.column, column)) {
+      return &fk;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace xnfdb

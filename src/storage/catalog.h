@@ -1,0 +1,84 @@
+// The system catalog: base tables, view definitions, and integrity metadata
+// (primary / foreign keys). Foreign-key metadata is what the CO cache uses
+// to translate connect/disconnect operations into base-table updates
+// (Sect. 2 of the paper: "connect and disconnect ... translate to updating
+// the foreign keys or inserting/deleting the associated tuples in the
+// connect tables").
+
+#ifndef XNFDB_STORAGE_CATALOG_H_
+#define XNFDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace xnfdb {
+
+// Declared FK: table.column references ref_table.ref_column.
+struct ForeignKey {
+  std::string table;
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+// A stored view definition. XNF views (CO views) and plain SQL views both
+// live here as their source text; they are recompiled on use, which keeps
+// the catalog independent of the compiler modules.
+struct ViewDef {
+  std::string name;
+  std::string definition;  // The query text after AS.
+  bool is_xnf = false;     // True when the body is an XNF (OUT OF) query.
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  // --- Tables -------------------------------------------------------------
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  // --- Views --------------------------------------------------------------
+  Status CreateView(ViewDef def);
+  Result<const ViewDef*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  Status DropView(const std::string& name);
+  // All stored view definitions, in name order.
+  std::vector<const ViewDef*> Views() const;
+
+  // --- Keys ---------------------------------------------------------------
+  // Declares the primary key column of `table` (single-column keys).
+  Status DeclarePrimaryKey(const std::string& table, const std::string& column);
+  // The PK column index of `table`, or -1 if none was declared.
+  int PrimaryKeyColumn(const std::string& table) const;
+
+  Status DeclareForeignKey(ForeignKey fk);
+  // All FKs whose referencing side is `table`.
+  std::vector<ForeignKey> ForeignKeysOf(const std::string& table) const;
+  // The FK from `table.column`, if declared.
+  const ForeignKey* FindForeignKey(const std::string& table,
+                                   const std::string& column) const;
+
+ private:
+  // Map keys are upper-cased identifiers.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, ViewDef> views_;
+  std::map<std::string, std::string> primary_keys_;  // table -> column name
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_STORAGE_CATALOG_H_

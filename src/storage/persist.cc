@@ -1,0 +1,182 @@
+#include "storage/persist.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace xnfdb {
+
+namespace {
+
+constexpr char kMagic[] = "XNFDB 1";
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& out) {
+  out << kMagic << "\n";
+  std::vector<std::string> names = catalog.TableNames();
+  out << "TABLES " << names.size() << "\n";
+  for (const std::string& name : names) {
+    Result<Table*> table = catalog.GetTable(name);
+    if (!table.ok()) return table.status();
+    const Table& t = *table.value();
+    out << "TABLE " << t.name() << " " << t.schema().size() << " "
+        << t.row_count() << "\n";
+    for (const Column& col : t.schema().columns()) {
+      out << "COL " << col.name << " " << static_cast<int>(col.type) << "\n";
+    }
+    // Primary key and secondary indexes.
+    int pk = catalog.PrimaryKeyColumn(name);
+    out << "PK " << pk << "\n";
+    std::string index_cols;
+    for (size_t c = 0; c < t.schema().size(); ++c) {
+      if (t.GetIndex(static_cast<int>(c)) != nullptr) {
+        index_cols += " " + std::to_string(c);
+      }
+    }
+    out << "INDEXES" << index_cols << "\n";
+    for (Rid rid = 0; rid < t.rid_bound(); ++rid) {
+      if (!t.IsLive(rid)) continue;
+      out << "ROW\n";
+      for (const Value& v : t.Get(rid)) WriteValueText(out, v);
+    }
+    // Foreign keys of this table.
+    std::vector<ForeignKey> fks = catalog.ForeignKeysOf(name);
+    out << "FKS " << fks.size() << "\n";
+    for (const ForeignKey& fk : fks) {
+      out << "FK " << fk.column << " " << fk.ref_table << " "
+          << fk.ref_column << "\n";
+    }
+  }
+  std::vector<const ViewDef*> views = catalog.Views();
+  out << "VIEWS " << views.size() << "\n";
+  for (const ViewDef* view : views) {
+    out << "VIEW " << view->name << " " << (view->is_xnf ? 1 : 0) << " "
+        << view->definition.size() << "\n"
+        << view->definition << "\n";
+  }
+  out << "END\n";
+  return out.good() ? Status::Ok()
+                    : Status::IoError("write to database stream failed");
+}
+
+Status LoadCatalog(std::istream& in, Catalog* catalog) {
+  if (!catalog->TableNames().empty() || !catalog->Views().empty()) {
+    return Status::InvalidArgument("LoadCatalog requires an empty catalog");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::IoError("bad database file magic");
+  }
+  std::string word;
+  size_t ntables;
+  if (!(in >> word >> ntables) || word != "TABLES") {
+    return Status::IoError("expected TABLES");
+  }
+  struct PendingFk {
+    ForeignKey fk;
+  };
+  std::vector<ForeignKey> pending_fks;  // declared after all tables exist
+  std::vector<std::pair<std::string, std::string>> pending_pks;
+  for (size_t ti = 0; ti < ntables; ++ti) {
+    std::string name;
+    size_t ncols, nrows;
+    if (!(in >> word >> name >> ncols >> nrows) || word != "TABLE") {
+      return Status::IoError("expected TABLE");
+    }
+    Schema schema;
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string col_name;
+      int type;
+      if (!(in >> word >> col_name >> type) || word != "COL") {
+        return Status::IoError("expected COL");
+      }
+      schema.AddColumn(Column{col_name, static_cast<DataType>(type)});
+    }
+    XNFDB_ASSIGN_OR_RETURN(Table * table,
+                           catalog->CreateTable(name, schema));
+    int pk;
+    if (!(in >> word >> pk) || word != "PK") {
+      return Status::IoError("expected PK");
+    }
+    if (pk >= 0) {
+      pending_pks.emplace_back(name, schema.column(pk).name);
+    }
+    if (!(in >> word) || word != "INDEXES") {
+      return Status::IoError("expected INDEXES");
+    }
+    std::getline(in, line);
+    std::istringstream index_line(line);
+    int index_col;
+    while (index_line >> index_col) {
+      XNFDB_RETURN_IF_ERROR(
+          table->CreateIndex(schema.column(index_col).name));
+    }
+    for (size_t r = 0; r < nrows; ++r) {
+      if (!(in >> word) || word != "ROW") {
+        return Status::IoError("expected ROW");
+      }
+      Tuple row;
+      row.reserve(ncols);
+      for (size_t c = 0; c < ncols; ++c) {
+        XNFDB_ASSIGN_OR_RETURN(Value v, ReadValueText(in));
+        row.push_back(std::move(v));
+      }
+      Result<Rid> rid = table->Insert(std::move(row));
+      if (!rid.ok()) return rid.status();
+    }
+    size_t nfks;
+    if (!(in >> word >> nfks) || word != "FKS") {
+      return Status::IoError("expected FKS");
+    }
+    for (size_t f = 0; f < nfks; ++f) {
+      ForeignKey fk;
+      fk.table = name;
+      if (!(in >> word >> fk.column >> fk.ref_table >> fk.ref_column) ||
+          word != "FK") {
+        return Status::IoError("expected FK");
+      }
+      pending_fks.push_back(std::move(fk));
+    }
+  }
+  for (const auto& [table, column] : pending_pks) {
+    XNFDB_RETURN_IF_ERROR(catalog->DeclarePrimaryKey(table, column));
+  }
+  for (ForeignKey& fk : pending_fks) {
+    XNFDB_RETURN_IF_ERROR(catalog->DeclareForeignKey(std::move(fk)));
+  }
+  size_t nviews;
+  if (!(in >> word >> nviews) || word != "VIEWS") {
+    return Status::IoError("expected VIEWS");
+  }
+  for (size_t v = 0; v < nviews; ++v) {
+    ViewDef def;
+    int is_xnf;
+    size_t len;
+    if (!(in >> word >> def.name >> is_xnf >> len) || word != "VIEW") {
+      return Status::IoError("expected VIEW");
+    }
+    def.is_xnf = is_xnf != 0;
+    in.get();  // the newline after the header
+    def.definition.resize(len);
+    in.read(def.definition.data(), static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in.gcount()) != len) {
+      return Status::IoError("truncated view definition");
+    }
+    XNFDB_RETURN_IF_ERROR(catalog->CreateView(std::move(def)));
+  }
+  return Status::Ok();
+}
+
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveCatalog(catalog, out);
+}
+
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadCatalog(in, catalog);
+}
+
+}  // namespace xnfdb

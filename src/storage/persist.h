@@ -1,0 +1,30 @@
+// Whole-database persistence: saves and restores a catalog — table schemas
+// and rows, primary/foreign keys, indexes, and stored (SQL and XNF) view
+// definitions — in a versioned, line-oriented text format.
+//
+// The paper treats storage/recovery as the part of the RDBMS that XNF keeps
+// "totally unchanged" (Sect. 6); this module provides the minimal durable
+// substrate a standalone library needs (and what examples use to keep data
+// across runs). Single-user, whole-file granularity.
+
+#ifndef XNFDB_STORAGE_PERSIST_H_
+#define XNFDB_STORAGE_PERSIST_H_
+
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& out);
+// Restores into `catalog`, which must be empty.
+Status LoadCatalog(std::istream& in, Catalog* catalog);
+
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path);
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_STORAGE_PERSIST_H_

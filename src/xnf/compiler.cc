@@ -1,0 +1,87 @@
+#include "xnf/compiler.h"
+
+#include "parser/parser.h"
+#include "semantics/builder.h"
+
+namespace xnfdb {
+
+Result<CompiledQuery> CompileSelect(const Catalog& catalog,
+                                    const ast::SelectStmt& select,
+                                    const CompileOptions& options) {
+  CompiledQuery out;
+  XNFDB_ASSIGN_OR_RETURN(out.graph, BuildSelect(catalog, select));
+  if (options.run_nf_rewrite) {
+    RuleEngine engine(MakeNfRules(options.nf));
+    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
+  }
+  return out;
+}
+
+Result<CompiledQuery> CompileXnf(const Catalog& catalog,
+                                 const ast::XnfQuery& query,
+                                 const CompileOptions& options) {
+  CompiledQuery out;
+  XNFDB_ASSIGN_OR_RETURN(out.graph, BuildXnf(catalog, query));
+  if (XnfHasCycle(*out.graph)) {
+    out.needs_fixpoint = true;
+    return out;
+  }
+  XNFDB_RETURN_IF_ERROR(XnfSemanticRewrite(out.graph.get(), options.xnf));
+  if (options.run_nf_rewrite) {
+    RuleEngine engine(MakeNfRules(options.nf));
+    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
+  }
+  return out;
+}
+
+Result<CompiledQuery> CompileQueryString(const Catalog& catalog,
+                                         const std::string& text,
+                                         const CompileOptions& options) {
+  // A bare identifier names a stored view.
+  std::string trimmed;
+  for (char c : text) {
+    if (!isspace(static_cast<unsigned char>(c))) trimmed += c;
+  }
+  bool is_ident = !trimmed.empty();
+  for (char c : trimmed) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '_') is_ident = false;
+  }
+  if (is_ident && catalog.HasView(trimmed)) {
+    XNFDB_ASSIGN_OR_RETURN(const ViewDef* view, catalog.GetView(trimmed));
+    if (view->is_xnf) {
+      XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::XnfQuery> q,
+                             ParseXnfQuery(view->definition));
+      return CompileXnf(catalog, *q, options);
+    }
+    XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::SelectStmt> s,
+                           ParseSelectQuery(view->definition));
+    return CompileSelect(catalog, *s, options);
+  }
+
+  XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatement(text));
+  switch (stmt->kind) {
+    case ast::Statement::Kind::kSelect:
+      return CompileSelect(
+          catalog, *static_cast<ast::SelectStatement*>(stmt.get())->select,
+          options);
+    case ast::Statement::Kind::kXnfQuery:
+      return CompileXnf(catalog,
+                        *static_cast<ast::XnfStatement*>(stmt.get())->query,
+                        options);
+    default:
+      return Status::InvalidArgument(
+          "expected a SELECT or OUT OF query, or a view name");
+  }
+}
+
+Result<std::unique_ptr<ast::XnfQuery>> LoadXnfView(const Catalog& catalog,
+                                                   const std::string& name) {
+  XNFDB_ASSIGN_OR_RETURN(const ViewDef* view, catalog.GetView(name));
+  if (!view->is_xnf) {
+    return Status::InvalidArgument("view " + view->name +
+                                   " is not an XNF view");
+  }
+  return ParseXnfQuery(view->definition);
+}
+
+}  // namespace xnfdb

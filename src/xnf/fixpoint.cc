@@ -1,0 +1,260 @@
+#include "xnf/fixpoint.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "optimizer/planner.h"
+
+namespace xnfdb {
+
+namespace {
+
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::QueryGraph;
+using qgm::XnfComponent;
+
+Result<const Box*> FindXnf(const QueryGraph& graph) {
+  const Box* found = nullptr;
+  for (size_t i = 0; i < graph.box_count(); ++i) {
+    const Box* b = graph.box(static_cast<int>(i));
+    if (graph.IsDead(b->id) || b->kind != BoxKind::kXnf) continue;
+    if (found != nullptr) {
+      return Status::Unsupported(
+          "recursive XNF queries cannot use CO composition");
+    }
+    found = b;
+  }
+  if (found == nullptr) {
+    return Status::InvalidArgument(
+        "fixpoint evaluator requires a graph with an XNF box");
+  }
+  return found;
+}
+
+// Value-interned candidate rows of one component.
+struct Candidates {
+  std::vector<Tuple> rows;
+  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> index;
+  std::vector<bool> reachable;
+
+  size_t Intern(const Tuple& row) {
+    auto [it, inserted] = index.emplace(row, rows.size());
+    if (inserted) {
+      rows.push_back(row);
+      reachable.push_back(false);
+    }
+    return it->second;
+  }
+  // Index of `row` or npos.
+  size_t Find(const Tuple& row) const {
+    auto it = index.find(row);
+    return it == index.end() ? static_cast<size_t>(-1) : it->second;
+  }
+};
+
+// One candidate connection: partner row indexes, parent first.
+struct CandidateConnection {
+  std::vector<size_t> partners;
+};
+
+Result<std::vector<int>> ProjectionIndexes(const Box& box,
+                                           const std::vector<std::string>& cols) {
+  std::vector<int> out;
+  if (cols.empty()) {
+    for (size_t i = 0; i < box.HeadArity(); ++i) out.push_back(int(i));
+    return out;
+  }
+  for (const std::string& name : cols) {
+    int idx = -1;
+    for (size_t i = 0; i < box.HeadArity(); ++i) {
+      if (IdentEquals(box.HeadName(i), name)) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idx < 0) {
+      return Status::SemanticError("TAKE column '" + name +
+                                   "' not found in component " + box.label);
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Tuple Slice(const Tuple& row, size_t offset, size_t arity) {
+  return Tuple(row.begin() + offset, row.begin() + offset + arity);
+}
+
+Tuple Project(const Tuple& row, const std::vector<int>& cols) {
+  Tuple out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(row[c]);
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
+                                       const QueryGraph& graph,
+                                       const ExecOptions& options) {
+  XNFDB_ASSIGN_OR_RETURN(const Box* xnf, FindXnf(graph));
+  QueryResult result;
+  Planner planner(&catalog, &graph, options.plan, &result.stats);
+
+  // 1. Materialize candidates per component table.
+  std::map<std::string, Candidates> candidates;
+  for (const XnfComponent& c : xnf->components) {
+    if (c.is_relationship) continue;
+    XNFDB_ASSIGN_OR_RETURN(auto rows, planner.MaterializeBox(c.box_id));
+    Candidates& cand = candidates[c.name];
+    for (const Tuple& row : *rows) cand.Intern(row);
+    if (c.is_root || !c.reachable) {
+      cand.reachable.assign(cand.rows.size(), true);
+    }
+  }
+
+  // 2. Materialize candidate connections per relationship.
+  std::map<std::string, std::vector<CandidateConnection>> connections;
+  for (const XnfComponent& r : xnf->components) {
+    if (!r.is_relationship) continue;
+    XNFDB_ASSIGN_OR_RETURN(auto rows, planner.MaterializeBox(r.box_id));
+    std::vector<std::string> partners;
+    partners.push_back(r.parent);
+    for (const std::string& c : r.children) partners.push_back(c);
+    std::vector<CandidateConnection>& conns = connections[r.name];
+    for (const Tuple& row : *rows) {
+      CandidateConnection conn;
+      size_t offset = 0;
+      bool ok = true;
+      for (const std::string& partner : partners) {
+        const XnfComponent* pc = xnf->FindComponent(partner);
+        size_t arity = graph.box(pc->box_id)->HeadArity();
+        Tuple part = Slice(row, offset, arity);
+        offset += arity;
+        size_t idx = candidates[partner].Find(part);
+        if (idx == static_cast<size_t>(-1)) {
+          ok = false;  // partner row filtered out of its candidates
+          break;
+        }
+        conn.partners.push_back(idx);
+      }
+      if (ok) conns.push_back(std::move(conn));
+    }
+  }
+
+  // 3. Least fixpoint of the reachability rule.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const XnfComponent& r : xnf->components) {
+      if (!r.is_relationship) continue;
+      Candidates& parent_cand = candidates[r.parent];
+      for (const CandidateConnection& conn : connections[r.name]) {
+        if (!parent_cand.reachable[conn.partners[0]]) continue;
+        for (size_t ci = 0; ci < r.children.size(); ++ci) {
+          Candidates& child_cand = candidates[r.children[ci]];
+          if (!child_cand.reachable[conn.partners[1 + ci]]) {
+            child_cand.reachable[conn.partners[1 + ci]] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Emit the heterogeneous stream, mirroring the rewrite path's shape.
+  struct TidMap {
+    std::unordered_map<Tuple, TupleId, TupleHash, TupleEq> ids;
+    TupleId next = 0;
+  };
+  std::map<std::string, TidMap> tids;
+  std::map<std::string, std::vector<int>> take_cols;
+  std::map<std::string, int> output_index;
+
+  for (const XnfComponent& c : xnf->components) {
+    if (c.is_relationship || !c.taken) continue;
+    const Box* box = graph.box(c.box_id);
+    XNFDB_ASSIGN_OR_RETURN(std::vector<int> cols,
+                           ProjectionIndexes(*box, c.take_columns));
+    take_cols[c.name] = cols;
+    OutputDesc desc;
+    desc.name = c.name;
+    for (int col : cols) {
+      Column column;
+      column.name = box->HeadName(col);
+      Result<DataType> t = graph.HeadType(c.box_id, col);
+      column.type = t.ok() ? t.value() : DataType::kNull;
+      desc.schema.AddColumn(std::move(column));
+    }
+    output_index[c.name] = static_cast<int>(result.outputs.size());
+    result.outputs.push_back(std::move(desc));
+
+    Candidates& cand = candidates[c.name];
+    TidMap& map = tids[c.name];
+    for (size_t i = 0; i < cand.rows.size(); ++i) {
+      if (!cand.reachable[i]) continue;
+      Tuple projected = Project(cand.rows[i], cols);
+      auto [it, inserted] = map.ids.emplace(projected, map.next);
+      if (!inserted) continue;
+      ++map.next;
+      StreamItem item;
+      item.kind = StreamItem::Kind::kRow;
+      item.output = output_index[c.name];
+      item.tid = it->second;
+      item.values = std::move(projected);
+      ++result.stats.rows_output;
+      result.stream.push_back(std::move(item));
+    }
+  }
+
+  for (const XnfComponent& r : xnf->components) {
+    if (!r.is_relationship || !r.taken) continue;
+    std::vector<std::string> partners;
+    partners.push_back(r.parent);
+    for (const std::string& c : r.children) partners.push_back(c);
+    OutputDesc desc;
+    desc.name = r.name;
+    desc.is_connection = true;
+    desc.partner_names = partners;
+    int out_idx = static_cast<int>(result.outputs.size());
+    result.outputs.push_back(std::move(desc));
+
+    std::set<std::vector<TupleId>> seen;
+    for (const CandidateConnection& conn : connections[r.name]) {
+      // A connection exists in the CO iff all its partners do.
+      bool all_reachable = true;
+      std::vector<TupleId> partner_tids;
+      for (size_t pi = 0; pi < partners.size(); ++pi) {
+        Candidates& cand = candidates[partners[pi]];
+        if (!cand.reachable[conn.partners[pi]]) {
+          all_reachable = false;
+          break;
+        }
+        Tuple projected =
+            Project(cand.rows[conn.partners[pi]], take_cols[partners[pi]]);
+        auto it = tids[partners[pi]].ids.find(projected);
+        if (it == tids[partners[pi]].ids.end()) {
+          all_reachable = false;  // partner not taken/emitted
+          break;
+        }
+        partner_tids.push_back(it->second);
+      }
+      if (!all_reachable) continue;
+      if (!seen.insert(partner_tids).second) continue;
+      StreamItem item;
+      item.kind = StreamItem::Kind::kConnection;
+      item.output = out_idx;
+      item.tids = std::move(partner_tids);
+      ++result.stats.rows_output;
+      result.stream.push_back(std::move(item));
+    }
+  }
+
+  return result;
+}
+
+}  // namespace xnfdb

@@ -1,0 +1,35 @@
+// Fixpoint evaluation of XNF queries (paper Sect. 2: "An XNF query may also
+// specify a recursive CO being identified by a cycle in the query's schema
+// graph. This cycle basically defines a 'derivation rule' that iterates
+// along the cycle's relationships to collect the tuples until a fixed point
+// is reached").
+//
+// The evaluator materializes each component's candidate rows and each
+// relationship's candidate connections with the ordinary relational engine,
+// then computes the least fixpoint of the reachability rule:
+//
+//   reachable(root tuples);
+//   reachable(child)  <-  connection(parent, child) and reachable(parent).
+//
+// For acyclic queries the result is identical to the XNF semantic rewrite
+// path, which the test suite exploits for differential testing.
+
+#ifndef XNFDB_XNF_FIXPOINT_H_
+#define XNFDB_XNF_FIXPOINT_H_
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "qgm/qgm.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+// Evaluates a graph still containing its XNF operator box (i.e. before the
+// XNF semantic rewrite). Works for both cyclic and acyclic schema graphs.
+Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
+                                       const qgm::QueryGraph& graph,
+                                       const ExecOptions& options = {});
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_XNF_FIXPOINT_H_

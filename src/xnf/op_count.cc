@@ -1,0 +1,85 @@
+#include "xnf/op_count.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace xnfdb {
+
+std::string OpCounts::ToString() const {
+  std::ostringstream os;
+  os << "selections=" << selections << " joins=" << joins
+     << " unions=" << unions << " total=" << Total();
+  return os.str();
+}
+
+std::set<int> ReachableBoxes(const qgm::QueryGraph& graph, int from_box) {
+  std::set<int> live;
+  std::vector<int> work{from_box};
+  while (!work.empty()) {
+    int id = work.back();
+    work.pop_back();
+    if (id < 0 || !live.insert(id).second) continue;
+    const qgm::Box* b = graph.box(id);
+    for (const qgm::Quantifier& q : b->quants) work.push_back(q.box_id);
+    for (int in : b->union_inputs) work.push_back(in);
+    for (const qgm::TopOutput& o : b->outputs) work.push_back(o.box_id);
+    for (const qgm::XnfComponent& c : b->components) work.push_back(c.box_id);
+  }
+  return live;
+}
+
+OpCounts CountBoxOps(const qgm::QueryGraph& graph, int box_id) {
+  using qgm::Box;
+  using qgm::BoxKind;
+  using qgm::QuantKind;
+
+  OpCounts counts;
+  if (graph.IsDead(box_id)) return counts;
+  const Box* b = graph.box(box_id);
+  if (b->kind == BoxKind::kUnion) {
+    ++counts.unions;
+    ++counts.boxes;
+    return counts;
+  }
+  if (b->kind != BoxKind::kSelect) return counts;
+  ++counts.boxes;
+  int fquants = 0;
+  for (const qgm::Quantifier& q : b->quants) {
+    if (q.kind == QuantKind::kForeach) ++fquants;
+  }
+  if (fquants > 1) counts.joins += fquants - 1;
+  // A selection is predicate work of the box's own: a local predicate
+  // (referencing at most one quantifier) or a reachability/existential
+  // group. Pure join predicates are accounted for by the join count.
+  bool has_local = !b->exists_groups.empty();
+  for (const qgm::ExprPtr& p : b->preds) {
+    std::vector<int> used;
+    p->CollectQuants(&used);
+    if (used.size() <= 1) has_local = true;
+  }
+  if (has_local) ++counts.selections;
+  return counts;
+}
+
+OpCounts CountOps(const qgm::QueryGraph& graph) {
+  std::set<int> live;
+  if (graph.top_box_id() >= 0) {
+    live = ReachableBoxes(graph, graph.top_box_id());
+  } else {
+    for (size_t i = 0; i < graph.box_count(); ++i) {
+      live.insert(static_cast<int>(i));
+    }
+  }
+  OpCounts counts;
+  for (int id : live) {
+    OpCounts c = CountBoxOps(graph, id);
+    counts.selections += c.selections;
+    counts.joins += c.joins;
+    counts.unions += c.unions;
+    counts.boxes += c.boxes;
+  }
+  return counts;
+}
+
+}  // namespace xnfdb

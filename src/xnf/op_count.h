@@ -1,0 +1,46 @@
+// QGM operation counting for the Table 1 reproduction.
+//
+// Methodology (documented in EXPERIMENTS.md): every live SELECT box that is
+// reachable from the Top box contributes
+//   * one JOIN per F-quantifier beyond the first, and
+//   * one SELECTION if it applies any predicate work of its own (local
+//     predicates or existential reachability groups).
+// UNION boxes contribute one UNION each. Base-table, projection-only and
+// Top boxes contribute nothing. This matches the paper's informal counting
+// where e.g. the final deps_ARC XNF graph costs "6 join operations and 1
+// selection".
+
+#ifndef XNFDB_XNF_OP_COUNT_H_
+#define XNFDB_XNF_OP_COUNT_H_
+
+#include <set>
+#include <string>
+
+#include "qgm/qgm.h"
+
+namespace xnfdb {
+
+struct OpCounts {
+  int selections = 0;
+  int joins = 0;
+  int unions = 0;
+  int boxes = 0;  // live select/union boxes counted
+
+  int Total() const { return selections + joins + unions; }
+  std::string ToString() const;
+};
+
+// Counts over all live boxes reachable from the Top box (or all live boxes
+// if the graph has no Top).
+OpCounts CountOps(const qgm::QueryGraph& graph);
+
+// The operation contribution of one box alone.
+OpCounts CountBoxOps(const qgm::QueryGraph& graph, int box_id);
+
+// All live box ids reachable from `from_box` (inclusive) through
+// quantifiers, union inputs, outputs and XNF components.
+std::set<int> ReachableBoxes(const qgm::QueryGraph& graph, int from_box);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_XNF_OP_COUNT_H_

@@ -1,0 +1,143 @@
+// Tests of CO composition (the closure property, paper Sect. 2): "Since the
+// result of an XNF query consists of a set of component tables and
+// relationships, an XNF query (or XNF view) can be used as input for a
+// subsequent XNF query or view definition."
+//
+// A component definition `x AS view.component` makes the (reachability-
+// filtered) extent of `component` in the stored XNF view the candidate
+// table of `x`. Outer relationships then restrict further.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/database.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class CompositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+    std::string view = "CREATE VIEW deps_ARC AS " +
+                       std::string(testing_util::kDepsArcQuery);
+    Result<Database::Outcome> r = db_.Execute(view);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  std::set<int64_t> Values(const QueryResult& result,
+                           const std::string& output, int col) {
+    std::set<int64_t> out;
+    int idx = result.FindOutput(output);
+    EXPECT_GE(idx, 0) << output;
+    for (const Tuple& row : result.RowsOf(idx)) {
+      out.insert(row[col].AsInt());
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(CompositionTest, ComponentOfViewAsStandaloneInput) {
+  // The xemp extent of deps_ARC (employees of ARC departments) reused as
+  // the single component of a new CO.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF arc_people AS deps_ARC.xemp
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Values(r.value(), "ARC_PEOPLE", 0),
+            (std::set<int64_t>{10, 20, 30}));
+}
+
+TEST_F(CompositionTest, OuterReachabilityIntersectsViewExtent) {
+  // Employees from the view, further restricted to those possessing a
+  // skill: e1(s1), e2(s3), e3(s4) all have skills; drop one mapping first.
+  ASSERT_TRUE(db_.Execute("DELETE FROM EMPSKILLS WHERE ESENO = 30").ok());
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xskill AS SKILLS,
+           xemp AS deps_ARC.xemp,
+           prop AS (RELATE xskill VIA OWNERS, xemp USING EMPSKILLS es
+                    WHERE xskill.sno = es.essno AND es.eseno = xemp.eno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // e3 (30) is in the view extent but no longer reachable via a skill;
+  // e4 (40) has no ARC department and is outside the view extent.
+  EXPECT_EQ(Values(r.value(), "XEMP", 0), (std::set<int64_t>{10, 20}));
+}
+
+TEST_F(CompositionTest, ComposedComponentAsParent) {
+  // The view's xdept extent as a root of a new CO with its own children.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS deps_ARC.xdept,
+           bigshots AS (SELECT * FROM EMP WHERE SAL > 82000.0),
+           pay AS (RELATE xdept VIA PAYS, bigshots
+                   WHERE xdept.dno = bigshots.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Values(r.value(), "XDEPT", 0), (std::set<int64_t>{1, 2}));
+  // Salaries: e1=90000(d1), e2=80000, e3=85000(d2), e4=70000.
+  EXPECT_EQ(Values(r.value(), "BIGSHOTS", 0), (std::set<int64_t>{10, 30}));
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("PAY")), 2u);
+}
+
+TEST_F(CompositionTest, SameViewImportedOnceForTwoComponents) {
+  // Two components drawing from the same view share one import.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF people AS deps_ARC.xemp,
+           places AS deps_ARC.xdept,
+           at AS (RELATE places VIA HOSTS, people
+                  WHERE places.dno = people.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Values(r.value(), "PLACES", 0), (std::set<int64_t>{1, 2}));
+  EXPECT_EQ(Values(r.value(), "PEOPLE", 0), (std::set<int64_t>{10, 20, 30}));
+}
+
+TEST_F(CompositionTest, NestedCompositionTwoLevels) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW LEVEL2 AS OUT OF folks AS "
+                          "deps_ARC.xemp TAKE *")
+                  .ok());
+  Result<QueryResult> r =
+      db_.Query("OUT OF leaf AS LEVEL2.folks TAKE *");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Values(r.value(), "LEAF", 0), (std::set<int64_t>{10, 20, 30}));
+}
+
+TEST_F(CompositionTest, Errors) {
+  // Unknown view.
+  EXPECT_FALSE(db_.Query("OUT OF x AS GHOST.c TAKE *").ok());
+  // SQL view used in composition position.
+  ASSERT_TRUE(
+      db_.Execute("CREATE VIEW SQLV AS SELECT * FROM DEPT").ok());
+  EXPECT_FALSE(db_.Query("OUT OF x AS SQLV.c TAKE *").ok());
+  // Unknown component of a valid view.
+  EXPECT_FALSE(db_.Query("OUT OF x AS deps_ARC.ghost TAKE *").ok());
+  // Relationship of a view is not a component table.
+  EXPECT_FALSE(db_.Query("OUT OF x AS deps_ARC.employment TAKE *").ok());
+}
+
+TEST_F(CompositionTest, CompositionWithRecursionRejected) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE BOM (ASSEMBLY INTEGER, COMPONENT INTEGER);
+    INSERT INTO BOM VALUES (10, 20);
+  )sql")
+                  .ok());
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xemp AS deps_ARC.xemp,
+           sub AS (RELATE xemp VIA MANAGES, xemp USING BOM b
+                   WHERE manages.eno = b.assembly AND b.component = xemp.eno)
+    TAKE *
+  )sql");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace xnfdb

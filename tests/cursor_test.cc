@@ -1,0 +1,139 @@
+// Unit tests of the cache cursors and path expressions: rebinding,
+// directions, deletion visibility, n-ary navigation, and path errors.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cursor.h"
+#include "cache/xnf_cache.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class CursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+    cache_ = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery).value();
+    ws_ = &cache_->workspace();
+  }
+
+  CachedRow* Dept(int64_t dno) {
+    return ws_->component("XDEPT").value()->FindByValue(0, Value(dno));
+  }
+
+  Database db_;
+  std::unique_ptr<XNFCache> cache_;
+  Workspace* ws_ = nullptr;
+};
+
+TEST_F(CursorTest, RebindRestartsIteration) {
+  Relationship* employment = ws_->relationship("EMPLOYMENT").value();
+  DependentCursor cursor(ws_, employment, Dept(1));
+  int count1 = 0;
+  while (cursor.Next()) ++count1;
+  EXPECT_EQ(count1, 2);
+  cursor.Rebind(Dept(2));
+  int count2 = 0;
+  while (cursor.Next()) ++count2;
+  EXPECT_EQ(count2, 1);
+  // Rebind to null anchor: empty iteration, no crash.
+  cursor.Rebind(nullptr);
+  EXPECT_FALSE(cursor.Next());
+}
+
+TEST_F(CursorTest, ResetReplaysIndependentCursor) {
+  IndependentCursor cursor(ws_->component("XEMP").value());
+  int first = 0;
+  while (cursor.Next()) ++first;
+  cursor.Reset();
+  int second = 0;
+  while (cursor.Next()) ++second;
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 3);
+}
+
+TEST_F(CursorTest, DeletedRowsInvisibleToCursors) {
+  ComponentTable* xemp = ws_->component("XEMP").value();
+  CachedRow* e1 = xemp->FindByValue(0, Value(int64_t{10}));
+  ASSERT_TRUE(ws_->DeleteRow(e1).ok());
+  IndependentCursor cursor(xemp);
+  std::set<int64_t> enos;
+  while (cursor.Next()) enos.insert(cursor.row()->values[0].AsInt());
+  EXPECT_EQ(enos, (std::set<int64_t>{20, 30}));
+  // Dependent navigation also skips the deleted row.
+  DependentCursor dep(ws_, ws_->relationship("EMPLOYMENT").value(), Dept(1));
+  int children = 0;
+  while (dep.Next()) ++children;
+  EXPECT_EQ(children, 1);
+  EXPECT_EQ(xemp->LiveCount(), 2u);
+}
+
+TEST_F(CursorTest, ParentDirectionFindsOwners) {
+  ComponentTable* xemp = ws_->component("XEMP").value();
+  CachedRow* e3 = xemp->FindByValue(0, Value(int64_t{30}));
+  DependentCursor cursor(ws_, ws_->relationship("EMPLOYMENT").value(), e3,
+                         DependentCursor::Direction::kParents);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.row()->values[0].AsInt(), 2);
+  EXPECT_FALSE(cursor.Next());
+}
+
+TEST_F(CursorTest, PathErrors) {
+  EXPECT_FALSE(EvalPath(ws_, "").ok());
+  EXPECT_FALSE(EvalPath(ws_, "GHOST").ok());
+  // Path must alternate component / relationship correctly.
+  EXPECT_FALSE(EvalPath(ws_, "XDEPT.XEMP").ok());
+  // Relationship must start at the current component.
+  EXPECT_FALSE(EvalPath(ws_, "XSKILLS.EMPLOYMENT.XEMP").ok());
+  // Path must end with a component.
+  EXPECT_FALSE(EvalPath(ws_, "XDEPT.EMPLOYMENT").ok());
+  // Target must be a partner of the relationship.
+  EXPECT_FALSE(EvalPath(ws_, "XDEPT.EMPLOYMENT.XPROJ").ok());
+}
+
+TEST_F(CursorTest, SingleComponentPathReturnsAllRows) {
+  Result<std::vector<CachedRow*>> rows = EvalPath(ws_, "XDEPT");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+}
+
+TEST_F(CursorTest, PathDeduplicatesSharedTargets) {
+  // Both e1 and e2 work for d1; the path result holds each skill once.
+  Result<std::vector<CachedRow*>> skills =
+      EvalPath(ws_, "XDEPT.EMPLOYMENT.XEMP.EMPPROPERTY.XSKILLS");
+  ASSERT_TRUE(skills.ok());
+  std::set<CachedRow*> unique(skills.value().begin(), skills.value().end());
+  EXPECT_EQ(unique.size(), skills.value().size());
+}
+
+TEST_F(CursorTest, NaryRelationshipNavigationPerComponent) {
+  const char* query = R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           xproj AS PROJ,
+           staffing AS (RELATE xdept VIA STAFFS, xemp, xproj
+                        WHERE xdept.dno = xemp.edno AND
+                              xdept.dno = xproj.pdno)
+    TAKE *
+  )sql";
+  auto cache = XNFCache::Evaluate(&db_, query).value();
+  Workspace& ws = cache->workspace();
+  CachedRow* d1 =
+      ws.component("XDEPT").value()->FindByValue(0, Value(int64_t{1}));
+  // The dependent cursor yields children of both partner components;
+  // filter by component, as EvalPath does.
+  DependentCursor cursor(&ws, ws.relationship("STAFFING").value(), d1);
+  int emps = 0, projs = 0;
+  while (cursor.Next()) {
+    if (cursor.row()->component == ws.component("XEMP").value()) ++emps;
+    if (cursor.row()->component == ws.component("XPROJ").value()) ++projs;
+  }
+  EXPECT_EQ(emps, 2);   // (d1,e1,p1), (d1,e2,p1)
+  EXPECT_EQ(projs, 2);  // p1 appears in both triples
+}
+
+}  // namespace
+}  // namespace xnfdb

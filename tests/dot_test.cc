@@ -1,0 +1,86 @@
+// Tests of the DOT (graphviz) rendering of query graphs.
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "qgm/dot.h"
+#include "rewrite/xnf_rewrite.h"
+#include "semantics/builder.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog c;
+  c.CreateTable("DEPT", Schema({{"DNO", DataType::kInt},
+                                {"LOC", DataType::kString}}))
+      .value();
+  c.CreateTable("EMP", Schema({{"ENO", DataType::kInt},
+                               {"EDNO", DataType::kInt}}))
+      .value();
+  return c;
+}
+
+TEST(DotTest, RendersXnfGraphWithComponents) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::XnfQuery>> q = ParseXnfQuery(R"(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )");
+  ASSERT_TRUE(q.ok());
+  Result<std::unique_ptr<qgm::QueryGraph>> g = BuildXnf(c, *q.value());
+  ASSERT_TRUE(g.ok());
+  std::string dot = qgm::ToDot(*g.value());
+  EXPECT_NE(dot.find("digraph qgm"), std::string::npos);
+  EXPECT_NE(dot.find("XNF"), std::string::npos);
+  EXPECT_NE(dot.find("XEMP R"), std::string::npos);      // reachability mark
+  EXPECT_NE(dot.find("XDEPT root"), std::string::npos);  // root mark
+  EXPECT_NE(dot.find("EMPLOYMENT (rel)"), std::string::npos);
+  // Every referenced box must be declared as a node.
+  for (size_t i = 0; i < g.value()->box_count(); ++i) {
+    std::string arrow = "-> b" + std::to_string(i);
+    size_t pos = dot.find(arrow);
+    if (pos != std::string::npos) {
+      EXPECT_NE(dot.find("  b" + std::to_string(i) + " [label"),
+                std::string::npos)
+          << "edge to undeclared node b" << i;
+    }
+  }
+}
+
+TEST(DotTest, RewrittenGraphShowsJoinsAndOutputs) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::XnfQuery>> q = ParseXnfQuery(
+      "OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'), xemp AS EMP, "
+      "employment AS (RELATE xdept VIA EMPLOYS, xemp "
+      "WHERE xdept.dno = xemp.edno) TAKE *");
+  ASSERT_TRUE(q.ok());
+  Result<std::unique_ptr<qgm::QueryGraph>> g = BuildXnf(c, *q.value());
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(XnfSemanticRewrite(g.value().get()).ok());
+  std::string dot = qgm::ToDot(*g.value());
+  // The XNF box is dead after the rewrite; Top outputs appear instead.
+  EXPECT_EQ(dot.find("fillcolor=gray90"), std::string::npos);
+  EXPECT_NE(dot.find("EMPLOYMENT (conn)"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+TEST(DotTest, EscapesSpecialCharacters) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::SelectStmt>> sel = ParseSelectQuery(
+      "SELECT DNO FROM DEPT WHERE LOC = '<weird|{label}>'");
+  ASSERT_TRUE(sel.ok());
+  Result<std::unique_ptr<qgm::QueryGraph>> g = BuildSelect(c, *sel.value());
+  ASSERT_TRUE(g.ok());
+  std::string dot = qgm::ToDot(*g.value());
+  // The raw brace/pipe characters must be escaped in record labels.
+  EXPECT_NE(dot.find("\\{label\\}"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\\|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xnfdb

@@ -1,0 +1,141 @@
+// End-to-end test of the paper's running example (Fig. 1): the deps_ARC
+// composite object, through the full pipeline (parse -> XNF semantics ->
+// XNF semantic rewrite -> NF rewrite -> optimize -> execute).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/database.h"
+#include "parser/parser.h"
+#include "tests/paper_db.h"
+#include "xnf/op_count.h"
+
+namespace xnfdb {
+namespace {
+
+class DepsArcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  Database db_;
+};
+
+std::set<int64_t> ColumnValues(const QueryResult& result,
+                               const std::string& output, int column) {
+  std::set<int64_t> values;
+  int idx = result.FindOutput(output);
+  EXPECT_GE(idx, 0) << "output " << output << " missing";
+  for (const Tuple& row : result.RowsOf(idx)) {
+    values.insert(row[column].AsInt());
+  }
+  return values;
+}
+
+TEST_F(DepsArcTest, ComponentExtents) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& result = r.value();
+
+  // Components: xdept, xemp, xproj, xskills + 4 relationships.
+  ASSERT_EQ(result.outputs.size(), 8u);
+
+  EXPECT_EQ(ColumnValues(result, "XDEPT", 0), (std::set<int64_t>{1, 2}));
+  // e4 works for the YKT department: not reachable.
+  EXPECT_EQ(ColumnValues(result, "XEMP", 0), (std::set<int64_t>{10, 20, 30}));
+  // p3 belongs to the YKT department: not reachable.
+  EXPECT_EQ(ColumnValues(result, "XPROJ", 0), (std::set<int64_t>{100, 200}));
+  // Skill s2 (2000) is connected to nothing reachable -- the paper calls
+  // this out explicitly ("skill s2 does not belong to the COs").
+  EXPECT_EQ(ColumnValues(result, "XSKILLS", 0),
+            (std::set<int64_t>{1000, 3000, 4000, 5000}));
+}
+
+TEST_F(DepsArcTest, ConnectionCounts) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& result = r.value();
+
+  EXPECT_EQ(result.ConnectionCount(result.FindOutput("EMPLOYMENT")), 3u);
+  EXPECT_EQ(result.ConnectionCount(result.FindOutput("OWNERSHIP")), 2u);
+  EXPECT_EQ(result.ConnectionCount(result.FindOutput("EMPPROPERTY")), 3u);
+  EXPECT_EQ(result.ConnectionCount(result.FindOutput("PROJPROPERTY")), 2u);
+}
+
+TEST_F(DepsArcTest, ObjectSharingAssignsOneTidPerRow) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& result = r.value();
+
+  // s3 (3000) is reachable from both an employee and a project but must
+  // appear exactly once in the xskills component (object sharing).
+  int idx = result.FindOutput("XSKILLS");
+  int count_3000 = 0;
+  for (const Tuple& row : result.RowsOf(idx)) {
+    if (row[0].AsInt() == 3000) ++count_3000;
+  }
+  EXPECT_EQ(count_3000, 1);
+}
+
+TEST_F(DepsArcTest, SharedRewriteMatchesTable1OpCounts) {
+  Result<std::unique_ptr<ast::XnfQuery>> q =
+      ParseXnfQuery(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  CompileOptions opts;
+  Result<CompiledQuery> compiled =
+      CompileXnf(db_.catalog(), *q.value(), opts);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  OpCounts counts = CountOps(*compiled.value().graph);
+  // Paper, Sect. 4.2 / Table 1: "performing only 6 join operations and 1
+  // selection" in the XNF derivation.
+  EXPECT_EQ(counts.joins, 6) << counts.ToString();
+  EXPECT_EQ(counts.selections, 1) << counts.ToString();
+}
+
+TEST_F(DepsArcTest, TakeProjectionRestrictsColumns) {
+  std::string query = R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE xdept(dno, dname), xemp(eno), employment
+  )sql";
+  Result<QueryResult> r = db_.Query(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& result = r.value();
+  int xdept = result.FindOutput("XDEPT");
+  ASSERT_GE(xdept, 0);
+  EXPECT_EQ(result.outputs[xdept].schema.size(), 2u);
+  int xemp = result.FindOutput("XEMP");
+  ASSERT_GE(xemp, 0);
+  EXPECT_EQ(result.outputs[xemp].schema.size(), 1u);
+  EXPECT_EQ(result.ConnectionCount(result.FindOutput("EMPLOYMENT")), 3u);
+}
+
+TEST_F(DepsArcTest, UnsharedRewriteProducesSameResult) {
+  CompileOptions shared_opts;
+  CompileOptions unshared_opts;
+  unshared_opts.xnf.share_connection_boxes = false;
+
+  Result<QueryResult> a = db_.Query(testing_util::kDepsArcQuery, shared_opts);
+  Result<QueryResult> b =
+      db_.Query(testing_util::kDepsArcQuery, unshared_opts);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  for (const char* comp : {"XDEPT", "XEMP", "XPROJ", "XSKILLS"}) {
+    std::set<int64_t> va = ColumnValues(a.value(), comp, 0);
+    std::set<int64_t> vb = ColumnValues(b.value(), comp, 0);
+    EXPECT_EQ(va, vb) << comp;
+  }
+  for (const char* rel :
+       {"EMPLOYMENT", "OWNERSHIP", "EMPPROPERTY", "PROJPROPERTY"}) {
+    EXPECT_EQ(a.value().ConnectionCount(a.value().FindOutput(rel)),
+              b.value().ConnectionCount(b.value().FindOutput(rel)))
+        << rel;
+  }
+}
+
+}  // namespace
+}  // namespace xnfdb

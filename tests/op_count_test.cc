@@ -1,0 +1,137 @@
+// Unit tests of the operation-counting methodology behind the Table 1
+// reproduction (xnf/op_count.h) and of the compiler driver entry points.
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "parser/parser.h"
+#include "tests/paper_db.h"
+#include "xnf/compiler.h"
+#include "xnf/op_count.h"
+
+namespace xnfdb {
+namespace {
+
+class OpCountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  OpCounts Count(const std::string& query, CompileOptions opts = {}) {
+    Result<CompiledQuery> compiled =
+        CompileQueryString(db_.catalog(), query, opts);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    return CountOps(*compiled.value().graph);
+  }
+
+  Database db_;
+};
+
+TEST_F(OpCountTest, PureScanIsZeroOps) {
+  OpCounts c = Count("SELECT * FROM EMP");
+  EXPECT_EQ(c.joins, 0);
+  EXPECT_EQ(c.selections, 0);
+}
+
+TEST_F(OpCountTest, LocalPredicateIsOneSelection) {
+  OpCounts c = Count("SELECT * FROM DEPT WHERE LOC = 'ARC'");
+  EXPECT_EQ(c.selections, 1);
+  EXPECT_EQ(c.joins, 0);
+}
+
+TEST_F(OpCountTest, JoinPredicateCountsAsJoinNotSelection) {
+  OpCounts c = Count(
+      "SELECT e.ENO FROM EMP e, DEPT d WHERE e.EDNO = d.DNO");
+  EXPECT_EQ(c.joins, 1);
+  EXPECT_EQ(c.selections, 0);
+}
+
+TEST_F(OpCountTest, ThreeWayJoinIsTwoJoins) {
+  OpCounts c = Count(
+      "SELECT 1 FROM EMP e, DEPT d, PROJ p "
+      "WHERE e.EDNO = d.DNO AND p.PDNO = d.DNO");
+  EXPECT_EQ(c.joins, 2);
+}
+
+TEST_F(OpCountTest, RewrittenExistsBecomesJoinPlusSelection) {
+  // Fig. 3: after E-to-F + merge, one box with 1 join and 1 selection.
+  OpCounts c = Count(
+      "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE "
+      "d.LOC = 'ARC' AND d.DNO = e.EDNO)");
+  EXPECT_EQ(c.joins, 1);
+  EXPECT_EQ(c.selections, 1);
+}
+
+TEST_F(OpCountTest, UnconvertedExistsIsSelectionOnly) {
+  CompileOptions opts;
+  opts.nf.exists_to_join = false;
+  opts.nf.select_merge = false;
+  OpCounts c = Count(
+      "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE "
+      "d.LOC = 'ARC' AND d.DNO = e.EDNO)",
+      opts);
+  // Outer box: existential group => 1 selection; subquery box: 1 selection.
+  EXPECT_EQ(c.joins, 0);
+  EXPECT_EQ(c.selections, 2);
+}
+
+TEST_F(OpCountTest, UnionCountsSeparately) {
+  OpCounts c = Count(
+      "SELECT DNO FROM DEPT WHERE LOC = 'ARC' UNION "
+      "SELECT EDNO FROM EMP WHERE SAL > 0.0");
+  EXPECT_EQ(c.unions, 1);
+  EXPECT_EQ(c.selections, 2);
+  EXPECT_EQ(c.Total(), c.selections + c.joins + c.unions);
+}
+
+TEST_F(OpCountTest, CountBoxOpsAndReachabilityAgreeWithTotal) {
+  Result<CompiledQuery> compiled = CompileQueryString(
+      db_.catalog(), testing_util::kDepsArcQuery);
+  ASSERT_TRUE(compiled.ok());
+  const qgm::QueryGraph& g = *compiled.value().graph;
+  OpCounts total = CountOps(g);
+  // Summing per-box counts over the reachable set reproduces the total.
+  int sel = 0, joins = 0, unions = 0;
+  for (int id : ReachableBoxes(g, g.top_box_id())) {
+    OpCounts c = CountBoxOps(g, id);
+    sel += c.selections;
+    joins += c.joins;
+    unions += c.unions;
+  }
+  EXPECT_EQ(sel, total.selections);
+  EXPECT_EQ(joins, total.joins);
+  EXPECT_EQ(unions, total.unions);
+  EXPECT_EQ(total.joins, 6);       // Table 1
+  EXPECT_EQ(total.selections, 1);  // Table 1
+}
+
+TEST_F(OpCountTest, CompileQueryStringResolvesViews) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW DEPS AS " +
+                          std::string(testing_util::kDepsArcQuery))
+                  .ok());
+  ASSERT_TRUE(
+      db_.Execute("CREATE VIEW SQLV AS SELECT * FROM DEPT").ok());
+  // A bare view name compiles the view.
+  EXPECT_TRUE(CompileQueryString(db_.catalog(), "DEPS").ok());
+  EXPECT_TRUE(CompileQueryString(db_.catalog(), " sqlv ").ok());
+  // Non-query statements are rejected.
+  EXPECT_FALSE(
+      CompileQueryString(db_.catalog(), "INSERT INTO DEPT VALUES (9)").ok());
+  // LoadXnfView type-checks.
+  EXPECT_TRUE(LoadXnfView(db_.catalog(), "DEPS").ok());
+  EXPECT_FALSE(LoadXnfView(db_.catalog(), "SQLV").ok());
+  EXPECT_FALSE(LoadXnfView(db_.catalog(), "GHOST").ok());
+}
+
+TEST_F(OpCountTest, RewriteStatsReportFirings) {
+  Result<CompiledQuery> compiled = CompileQueryString(
+      db_.catalog(),
+      "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE "
+      "d.DNO = e.EDNO)");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GE(compiled.value().rewrite_stats.TotalFirings(), 2);
+}
+
+}  // namespace
+}  // namespace xnfdb

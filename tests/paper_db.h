@@ -1,0 +1,80 @@
+// Shared test fixture data: the deps_ARC example database of Fig. 1.
+//
+// Instance level (matching the paper's instance graphs): two ARC
+// departments d1, d2 plus one non-ARC department d3; employees e1..e4 where
+// e2 and e3 are shared between departments' projects conceptually; projects
+// p1..p3; skills s1..s5 where s2 is connected to nothing (and must therefore
+// not be part of any CO), s3 is shared between an employee and a project.
+
+#ifndef XNFDB_TESTS_PAPER_DB_H_
+#define XNFDB_TESTS_PAPER_DB_H_
+
+#include <string>
+
+#include "api/database.h"
+
+namespace xnfdb {
+namespace testing_util {
+
+inline const char* kPaperSchema = R"sql(
+CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR, LOC VARCHAR,
+                   PRIMARY KEY (DNO));
+CREATE TABLE EMP (ENO INTEGER, ENAME VARCHAR, EDNO INTEGER, SAL DOUBLE,
+                  PRIMARY KEY (ENO),
+                  FOREIGN KEY (EDNO) REFERENCES DEPT (DNO));
+CREATE TABLE PROJ (PNO INTEGER, PNAME VARCHAR, PDNO INTEGER,
+                   PRIMARY KEY (PNO),
+                   FOREIGN KEY (PDNO) REFERENCES DEPT (DNO));
+CREATE TABLE SKILLS (SNO INTEGER, SNAME VARCHAR, PRIMARY KEY (SNO));
+CREATE TABLE EMPSKILLS (ESENO INTEGER, ESSNO INTEGER,
+                        FOREIGN KEY (ESENO) REFERENCES EMP (ENO),
+                        FOREIGN KEY (ESSNO) REFERENCES SKILLS (SNO));
+CREATE TABLE PROJSKILLS (PSPNO INTEGER, PSSNO INTEGER,
+                         FOREIGN KEY (PSPNO) REFERENCES PROJ (PNO),
+                         FOREIGN KEY (PSSNO) REFERENCES SKILLS (SNO));
+)sql";
+
+inline const char* kPaperData = R"sql(
+INSERT INTO DEPT VALUES (1, 'DB', 'ARC'), (2, 'OS', 'ARC'),
+                        (3, 'HW', 'YKT');
+INSERT INTO EMP VALUES (10, 'e1', 1, 90000.0), (20, 'e2', 1, 80000.0),
+                       (30, 'e3', 2, 85000.0), (40, 'e4', 3, 70000.0);
+INSERT INTO PROJ VALUES (100, 'p1', 1), (200, 'p2', 2), (300, 'p3', 3);
+INSERT INTO SKILLS VALUES (1000, 's1'), (2000, 's2'), (3000, 's3'),
+                          (4000, 's4'), (5000, 's5');
+INSERT INTO EMPSKILLS VALUES (10, 1000), (20, 3000), (30, 4000);
+INSERT INTO PROJSKILLS VALUES (100, 3000), (200, 5000), (300, 2000);
+)sql";
+
+// The XNF query of Fig. 1.
+inline const char* kDepsArcQuery = R"sql(
+OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp
+                      WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj
+                     WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                       USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills
+                        USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)
+TAKE *
+)sql";
+
+// Populates `db` with the Fig. 1 schema and instance.
+inline Status LoadPaperDb(Database* db) {
+  Result<size_t> r1 = db->ExecuteScript(kPaperSchema);
+  if (!r1.ok()) return r1.status();
+  Result<size_t> r2 = db->ExecuteScript(kPaperData);
+  if (!r2.ok()) return r2.status();
+  return Status::Ok();
+}
+
+}  // namespace testing_util
+}  // namespace xnfdb
+
+#endif  // XNFDB_TESTS_PAPER_DB_H_

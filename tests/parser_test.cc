@@ -1,0 +1,232 @@
+// Unit tests for the lexer and the SQL/XNF parser.
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace xnfdb {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  Result<std::vector<Token>> r =
+      Tokenize("SELECT x, 42 3.5 'it''s' <= <> != -- comment\n ;");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = r.value();
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].text, "X");  // identifiers upper-cased
+  EXPECT_TRUE(t[2].IsSymbol(","));
+  EXPECT_EQ(t[3].int_value, 42);
+  EXPECT_DOUBLE_EQ(t[4].double_value, 3.5);
+  EXPECT_EQ(t[5].text, "it's");  // escaped quote
+  EXPECT_TRUE(t[6].IsSymbol("<="));
+  EXPECT_TRUE(t[7].IsSymbol("<>"));
+  EXPECT_TRUE(t[8].IsSymbol("<>"));  // != normalizes
+  EXPECT_TRUE(t[9].IsSymbol(";"));
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, ScientificNotationAndIdentifierBoundary) {
+  Result<std::vector<Token>> r = Tokenize("1e3 2e x1_y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value()[0].double_value, 1000.0);
+  EXPECT_EQ(r.value()[1].int_value, 2);     // '2' then ident 'E'
+  EXPECT_EQ(r.value()[2].text, "E");
+  EXPECT_EQ(r.value()[3].text, "X1_Y");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  Result<std::unique_ptr<ast::SelectStmt>> r = ParseSelectQuery(
+      "SELECT e.ename AS name, sal * 2 FROM emp e WHERE edno = 5 AND "
+      "sal >= 100 ORDER BY name DESC");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ast::SelectStmt& s = *r.value();
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].alias, "NAME");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "EMP");
+  EXPECT_EQ(s.from[0].alias, "E");
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].descending);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Result<std::unique_ptr<ast::SelectStmt>> r =
+      ParseSelectQuery("SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND z = 3");
+  ASSERT_TRUE(r.ok());
+  // a + (b * c)
+  const auto& item = static_cast<const ast::Binary&>(*r.value()->items[0].expr);
+  EXPECT_EQ(item.op, "+");
+  EXPECT_EQ(static_cast<const ast::Binary&>(*item.rhs).op, "*");
+  // x=1 OR (y=2 AND z=3)
+  const auto& where = static_cast<const ast::Binary&>(*r.value()->where);
+  EXPECT_EQ(where.op, "OR");
+  EXPECT_EQ(static_cast<const ast::Binary&>(*where.rhs).op, "AND");
+}
+
+TEST(ParserTest, ExistsAndInSubqueries) {
+  Result<std::unique_ptr<ast::SelectStmt>> r = ParseSelectQuery(
+      "SELECT * FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE "
+      "d.dno = e.edno) AND eno IN (SELECT eseno FROM empskills)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& where = static_cast<const ast::Binary&>(*r.value()->where);
+  EXPECT_EQ(where.lhs->kind, ast::Expr::Kind::kExists);
+  EXPECT_EQ(where.rhs->kind, ast::Expr::Kind::kInSubquery);
+}
+
+TEST(ParserTest, LikeAndNotLike) {
+  Result<std::unique_ptr<ast::SelectStmt>> r = ParseSelectQuery(
+      "SELECT * FROM t WHERE a LIKE 'x%' AND b NOT LIKE '_y'");
+  ASSERT_TRUE(r.ok());
+  const auto& where = static_cast<const ast::Binary&>(*r.value()->where);
+  EXPECT_FALSE(static_cast<const ast::Like&>(*where.lhs).negated);
+  EXPECT_TRUE(static_cast<const ast::Like&>(*where.rhs).negated);
+}
+
+TEST(ParserTest, GroupByAndAggregates) {
+  Result<std::unique_ptr<ast::SelectStmt>> r = ParseSelectQuery(
+      "SELECT edno, COUNT(*), AVG(sal) FROM emp GROUP BY edno");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->group_by.size(), 1u);
+  const auto& count = static_cast<const ast::FuncCall&>(*r.value()->items[1].expr);
+  EXPECT_EQ(count.name, "COUNT");
+  EXPECT_TRUE(count.args.empty());
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseSelectQuery("SELECT * FROM (SELECT 1)").ok());
+  EXPECT_TRUE(ParseSelectQuery("SELECT * FROM (SELECT 1 FROM t) d").ok());
+}
+
+TEST(ParserTest, XnfQueryFull) {
+  Result<std::unique_ptr<ast::XnfQuery>> r = ParseXnfQuery(R"(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno),
+           prop AS (RELATE xemp VIA HASPROP, xskills
+                    USING EMPSKILLS es
+                    WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),
+           xskills AS SKILLS
+    TAKE xdept, xemp(eno, ename), employment
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ast::XnfQuery& q = *r.value();
+  ASSERT_EQ(q.defs.size(), 5u);
+  EXPECT_EQ(q.defs[0].name, "XDEPT");
+  EXPECT_EQ(q.defs[0].kind, ast::XnfDef::Kind::kTable);
+  EXPECT_NE(q.defs[0].select, nullptr);
+  EXPECT_EQ(q.defs[1].base_table, "EMP");
+  const ast::XnfDef& rel = q.defs[2];
+  EXPECT_EQ(rel.kind, ast::XnfDef::Kind::kRelationship);
+  EXPECT_EQ(rel.relate.parent, "XDEPT");
+  EXPECT_EQ(rel.relate.role, "EMPLOYS");
+  EXPECT_EQ(rel.relate.children, (std::vector<std::string>{"XEMP"}));
+  const ast::XnfDef& prop = q.defs[3];
+  ASSERT_EQ(prop.relate.using_tables.size(), 1u);
+  EXPECT_EQ(prop.relate.using_tables[0].table, "EMPSKILLS");
+  EXPECT_EQ(prop.relate.using_tables[0].alias, "ES");
+  EXPECT_FALSE(q.take_all);
+  ASSERT_EQ(q.take.size(), 3u);
+  EXPECT_EQ(q.take[1].columns, (std::vector<std::string>{"ENO", "ENAME"}));
+}
+
+TEST(ParserTest, XnfTakeStar) {
+  Result<std::unique_ptr<ast::XnfQuery>> r =
+      ParseXnfQuery("OUT OF a AS T1 TAKE *");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()->take_all);
+}
+
+TEST(ParserTest, XnfErrors) {
+  // Relationship without children.
+  EXPECT_FALSE(
+      ParseXnfQuery("OUT OF r AS (RELATE a VIA x WHERE 1=1) TAKE *").ok());
+  // Missing TAKE.
+  EXPECT_FALSE(ParseXnfQuery("OUT OF a AS T1").ok());
+}
+
+TEST(ParserTest, NaryRelationship) {
+  Result<std::unique_ptr<ast::XnfQuery>> r = ParseXnfQuery(
+      "OUT OF a AS T1, b AS T2, c AS T3, "
+      "r AS (RELATE a VIA links, b, c WHERE a.x = b.y AND a.x = c.z) TAKE *");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->defs[3].relate.children.size(), 2u);
+}
+
+TEST(ParserTest, CreateTableWithKeys) {
+  Result<ast::StatementPtr> r = ParseStatement(
+      "CREATE TABLE EMP (ENO INTEGER, ENAME VARCHAR(30), SAL DOUBLE, "
+      "PRIMARY KEY (ENO), FOREIGN KEY (EDNO) REFERENCES DEPT (DNO))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& ct = static_cast<const ast::CreateTableStatement&>(*r.value());
+  EXPECT_EQ(ct.columns.size(), 3u);
+  EXPECT_EQ(ct.primary_key, "ENO");
+  ASSERT_EQ(ct.foreign_keys.size(), 1u);
+  EXPECT_EQ(ct.foreign_keys[0].ref_table, "DEPT");
+}
+
+TEST(ParserTest, CreateViewCapturesDefinitionText) {
+  Result<ast::StatementPtr> r =
+      ParseStatement("CREATE VIEW v AS SELECT eno FROM emp WHERE sal > 10");
+  ASSERT_TRUE(r.ok());
+  const auto& cv = static_cast<const ast::CreateViewStatement&>(*r.value());
+  EXPECT_FALSE(cv.is_xnf);
+  EXPECT_NE(cv.definition_text.find("SELECT"), std::string::npos);
+  EXPECT_NE(cv.definition_text.find("sal > 10"), std::string::npos);
+
+  Result<ast::StatementPtr> x =
+      ParseStatement("CREATE VIEW xv AS OUT OF a AS T1 TAKE *");
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(static_cast<const ast::CreateViewStatement&>(*x.value()).is_xnf);
+}
+
+TEST(ParserTest, DmlStatements) {
+  EXPECT_TRUE(ParseStatement("INSERT INTO t VALUES (1, 'a'), (2, 'b')").ok());
+  EXPECT_TRUE(
+      ParseStatement("UPDATE t SET a = 1, b = 'x' WHERE c < 3").ok());
+  EXPECT_TRUE(ParseStatement("DELETE FROM t WHERE a = 1").ok());
+  EXPECT_TRUE(ParseStatement("DELETE FROM t").ok());
+  EXPECT_TRUE(ParseStatement("CREATE INDEX ON t (a)").ok());
+  EXPECT_TRUE(ParseStatement("CREATE INDEX i1 ON t (a)").ok());
+  EXPECT_TRUE(ParseStatement("DROP TABLE t").ok());
+  EXPECT_TRUE(ParseStatement("DROP VIEW v").ok());
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  Result<std::vector<ast::StatementPtr>> r =
+      ParseScript("SELECT 1 FROM a; SELECT 2 FROM b;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM t garbage garbage").ok());
+  EXPECT_FALSE(ParseSelectQuery("SELECT 1 FROM t; SELECT 2 FROM t").ok());
+}
+
+TEST(ParserTest, CloneRoundTripsToSameText) {
+  const char* sql =
+      "SELECT DISTINCT a, b + 1 AS c FROM t u WHERE EXISTS (SELECT 1 FROM s "
+      "WHERE s.k = u.k) ORDER BY a";
+  Result<std::unique_ptr<ast::SelectStmt>> r = ParseSelectQuery(sql);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<ast::SelectStmt> clone = ast::CloneSelect(*r.value());
+  EXPECT_EQ(clone->ToString(), r.value()->ToString());
+
+  Result<std::unique_ptr<ast::XnfQuery>> x = ParseXnfQuery(
+      "OUT OF a AS T1, b AS T2, r AS (RELATE a VIA v, b WHERE a.x = b.y) "
+      "TAKE a, r, b(c1)");
+  ASSERT_TRUE(x.ok());
+  std::unique_ptr<ast::XnfQuery> xclone = ast::CloneXnf(*x.value());
+  EXPECT_EQ(xclone->ToString(), x.value()->ToString());
+}
+
+}  // namespace
+}  // namespace xnfdb

@@ -1,0 +1,144 @@
+// Tests of whole-database persistence: schemas, rows (all value types,
+// tombstoned rows excluded), primary/foreign keys, indexes, and stored SQL
+// and XNF views survive a save/load round trip; corrupt inputs fail
+// cleanly; a restored database answers XNF queries identically.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/database.h"
+#include "storage/persist.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+TEST(PersistTest, RoundTripSchemasRowsAndKeys) {
+  Database db;
+  ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  // A deleted row must not be persisted.
+  ASSERT_TRUE(db.Execute("DELETE FROM EMP WHERE ENO = 40").ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(db.catalog(), buffer).ok());
+
+  Database restored;
+  ASSERT_TRUE(LoadCatalog(buffer, &restored.catalog()).ok());
+
+  EXPECT_EQ(restored.catalog().TableNames(), db.catalog().TableNames());
+  Result<QueryResult> rows =
+      restored.Query("SELECT ENO, ENAME, SAL FROM EMP ORDER BY ENO");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().rows().size(), 3u);
+  EXPECT_EQ(rows.value().rows()[0][1].AsString(), "e1");
+  EXPECT_DOUBLE_EQ(rows.value().rows()[0][2].AsDouble(), 90000.0);
+
+  // PK and FK metadata survive (write-back relies on them).
+  EXPECT_EQ(restored.catalog().PrimaryKeyColumn("EMP"), 0);
+  const ForeignKey* fk =
+      restored.catalog().FindForeignKey("EMP", "EDNO");
+  ASSERT_NE(fk, nullptr);
+  EXPECT_EQ(fk->ref_table, "DEPT");
+
+  // The PK index is rebuilt: point query uses it.
+  Result<QueryResult> point =
+      restored.Query("SELECT ENAME FROM EMP WHERE ENO = 10");
+  ASSERT_TRUE(point.ok());
+  EXPECT_GE(point.value().stats.index_lookups.load(), 1);
+}
+
+TEST(PersistTest, ViewsSurviveAndXnfQueriesWork) {
+  Database db;
+  ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  ASSERT_TRUE(db.Execute("CREATE VIEW DEPS AS " +
+                         std::string(testing_util::kDepsArcQuery))
+                  .ok());
+  ASSERT_TRUE(
+      db.Execute("CREATE VIEW ARCD AS SELECT * FROM DEPT WHERE LOC = 'ARC'")
+          .ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(db.catalog(), buffer).ok());
+  Database restored;
+  ASSERT_TRUE(LoadCatalog(buffer, &restored.catalog()).ok());
+
+  ASSERT_TRUE(restored.catalog().HasView("DEPS"));
+  EXPECT_TRUE(restored.catalog().GetView("DEPS").value()->is_xnf);
+  Result<QueryResult> co = restored.Query("DEPS");
+  ASSERT_TRUE(co.ok()) << co.status().ToString();
+  EXPECT_EQ(co.value().RowCount(co.value().FindOutput("XEMP")), 3u);
+  Result<QueryResult> sql = restored.Query("SELECT COUNT(*) FROM ARCD");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql.value().rows()[0][0].AsInt(), 2);
+}
+
+TEST(PersistTest, SpecialValuesRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                     "CREATE TABLE V (I INTEGER, S VARCHAR, D DOUBLE, "
+                     "B BOOLEAN);"
+                     "INSERT INTO V VALUES (-42, 'multi word '' quote', "
+                     "0.125, FALSE), (NULL, NULL, NULL, NULL)")
+                  .ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(db.catalog(), buffer).ok());
+  Database restored;
+  ASSERT_TRUE(LoadCatalog(buffer, &restored.catalog()).ok());
+  Result<QueryResult> result = restored.Query("SELECT * FROM V ORDER BY I");
+  ASSERT_TRUE(result.ok());
+  std::vector<Tuple> rows = result.value().rows();
+  ASSERT_EQ(rows.size(), 2u);
+  const Tuple& nulls = rows[0];  // NULLs sort first
+  EXPECT_TRUE(nulls[0].is_null());
+  const Tuple& full = rows[1];
+  EXPECT_EQ(full[0].AsInt(), -42);
+  EXPECT_EQ(full[1].AsString(), "multi word ' quote");
+  EXPECT_DOUBLE_EQ(full[2].AsDouble(), 0.125);
+  EXPECT_FALSE(full[3].AsBool());
+}
+
+TEST(PersistTest, LoadIntoNonEmptyCatalogRejected) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (A INTEGER)").ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCatalog(db.catalog(), buffer).ok());
+  Status s = LoadCatalog(buffer, &db.catalog());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistTest, CorruptInputsRejected) {
+  const char* cases[] = {
+      "",
+      "WRONG\n",
+      "XNFDB 1\nGARBAGE\n",
+      "XNFDB 1\nTABLES 1\nTABLE T 1 1\nCOL A 1\nPK -1\nINDEXES\nROW\n",
+      "XNFDB 1\nTABLES 1\nTABLE T 1 0\nCOL A 1\nPK 0\nINDEXES\nFKS 1\nFK\n",
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    Catalog catalog;
+    EXPECT_FALSE(LoadCatalog(in, &catalog).ok()) << "input: " << text;
+  }
+}
+
+TEST(PersistTest, FileHelpers) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE T (A INTEGER);"
+                               "INSERT INTO T VALUES (7)")
+                  .ok());
+  std::string path = ::testing::TempDir() + "/xnfdb_persist.db";
+  ASSERT_TRUE(SaveCatalogToFile(db.catalog(), path).ok());
+  Catalog restored;
+  ASSERT_TRUE(LoadCatalogFromFile(path, &restored).ok());
+  EXPECT_EQ(restored.GetTable("T").value()->row_count(), 1u);
+  std::remove(path.c_str());
+
+  Catalog empty;
+  EXPECT_FALSE(LoadCatalogFromFile("/no/such/file", &empty).ok());
+  EXPECT_FALSE(SaveCatalogToFile(db.catalog(), "/no/such/dir/f").ok());
+}
+
+}  // namespace
+}  // namespace xnfdb

@@ -1,0 +1,250 @@
+// Unit tests for the Query Graph Model: construction, validation,
+// expression utilities, type inference, and the semantic builder's QGM
+// shapes (including the XNF box of Fig. 4).
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "qgm/qgm.h"
+#include "semantics/builder.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+namespace {
+
+using qgm::AddQuant;
+using qgm::Box;
+using qgm::BoxKind;
+using qgm::Expr;
+using qgm::QuantKind;
+using qgm::QueryGraph;
+
+Catalog MakeCatalog() {
+  Catalog c;
+  c.CreateTable("DEPT", Schema({{"DNO", DataType::kInt},
+                                {"LOC", DataType::kString}}))
+      .value();
+  c.CreateTable("EMP", Schema({{"ENO", DataType::kInt},
+                               {"EDNO", DataType::kInt},
+                               {"SAL", DataType::kDouble}}))
+      .value();
+  return c;
+}
+
+TEST(QgmTest, ExprBuildersAndPrinting) {
+  QueryGraph g;
+  Box* base = g.NewBox(BoxKind::kBaseTable, "EMP");
+  base->table_name = "EMP";
+  base->base_schema =
+      Schema({{"ENO", DataType::kInt}, {"SAL", DataType::kDouble}});
+  Box* sel = g.NewBox(BoxKind::kSelect, "q");
+  int q = AddQuant(&g, sel, QuantKind::kForeach, base->id, "E");
+  qgm::ExprPtr pred = Expr::MakeBinary(
+      ">", Expr::MakeColRef(q, 1), Expr::MakeLiteral(Value(100.0)));
+  EXPECT_EQ(pred->ToString(&g), "(E.SAL > 100)");
+
+  std::vector<int> used;
+  pred->CollectQuants(&used);
+  EXPECT_EQ(used, (std::vector<int>{q}));
+  EXPECT_TRUE(RefersToQuant(*pred, q));
+  EXPECT_FALSE(RefersToQuant(*pred, q + 1));
+
+  qgm::ExprPtr clone = pred->Clone();
+  EXPECT_EQ(clone->ToString(&g), pred->ToString(&g));
+}
+
+TEST(QgmTest, SplitConjunctsFlattensAndChains) {
+  qgm::ExprPtr e = Expr::MakeBinary(
+      "AND",
+      Expr::MakeBinary("AND", Expr::MakeLiteral(Value(true)),
+                       Expr::MakeLiteral(Value(false))),
+      Expr::MakeLiteral(Value(true)));
+  std::vector<qgm::ExprPtr> conjuncts;
+  qgm::SplitConjuncts(std::move(e), &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(QgmTest, RemapQuantTranslatesColumns) {
+  QueryGraph g;
+  Box* base = g.NewBox(BoxKind::kBaseTable, "EMP");
+  base->base_schema =
+      Schema({{"A", DataType::kInt}, {"B", DataType::kInt}});
+  Box* s1 = g.NewBox(BoxKind::kSelect, "s1");
+  int q1 = AddQuant(&g, s1, QuantKind::kForeach, base->id, "x");
+  Box* s2 = g.NewBox(BoxKind::kSelect, "s2");
+  int q2 = AddQuant(&g, s2, QuantKind::kForeach, base->id, "y");
+
+  qgm::ExprPtr e = Expr::MakeBinary("=", Expr::MakeColRef(q1, 1),
+                                    Expr::MakeLiteral(Value(int64_t{1})));
+  // Map column 1 of q1 onto column 0 of q2.
+  ASSERT_TRUE(RemapQuant(e.get(), q1, q2, {/*0->*/ -1, /*1->*/ 0}).ok());
+  EXPECT_EQ(e->lhs->quant_id, q2);
+  EXPECT_EQ(e->lhs->column, 0);
+  // Unmapped column errors.
+  qgm::ExprPtr bad = Expr::MakeColRef(q1, 0);
+  EXPECT_FALSE(RemapQuant(bad.get(), q1, q2, {-1, 0}).ok());
+}
+
+TEST(QgmTest, ValidateCatchesDanglingReferences) {
+  QueryGraph g;
+  Box* base = g.NewBox(BoxKind::kBaseTable, "EMP");
+  base->base_schema = Schema({{"A", DataType::kInt}});
+  Box* sel = g.NewBox(BoxKind::kSelect, "s");
+  int q = AddQuant(&g, sel, QuantKind::kForeach, base->id, "x");
+  sel->preds.push_back(Expr::MakeColRef(q, 0));
+  EXPECT_TRUE(g.Validate().ok());
+
+  // Column out of range.
+  sel->preds.push_back(Expr::MakeColRef(q, 7));
+  EXPECT_FALSE(g.Validate().ok());
+  sel->preds.pop_back();
+
+  // Reference to a quantifier not in the box.
+  sel->preds.push_back(Expr::MakeColRef(q + 100, 0));
+  EXPECT_FALSE(g.Validate().ok());
+  sel->preds.pop_back();
+
+  // Ranging over a dead box.
+  g.MarkDead(base->id);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(QgmTest, BuilderProducesSelectBoxWithTop) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::SelectStmt>> sel =
+      ParseSelectQuery("SELECT ENO FROM EMP WHERE SAL > 100.0");
+  ASSERT_TRUE(sel.ok());
+  Result<std::unique_ptr<QueryGraph>> g = BuildSelect(c, *sel.value());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_GE(g.value()->top_box_id(), 0);
+  const Box* top = g.value()->box(g.value()->top_box_id());
+  ASSERT_EQ(top->outputs.size(), 1u);
+  const Box* body = g.value()->box(top->outputs[0].box_id);
+  EXPECT_EQ(body->kind, BoxKind::kSelect);
+  EXPECT_EQ(body->head.size(), 1u);
+  EXPECT_EQ(body->preds.size(), 1u);
+}
+
+TEST(QgmTest, BuilderTranslatesExistsIntoGroup) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::SelectStmt>> sel = ParseSelectQuery(
+      "SELECT * FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d WHERE "
+      "d.LOC = 'ARC' AND d.DNO = e.EDNO)");
+  ASSERT_TRUE(sel.ok());
+  Result<std::unique_ptr<QueryGraph>> g = BuildSelect(c, *sel.value());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const Box* top = g.value()->box(g.value()->top_box_id());
+  const Box* body = g.value()->box(top->outputs[0].box_id);
+  // The subquery's local predicate (LOC='ARC') stays inside the subquery
+  // box; the correlated one becomes the group predicate.
+  ASSERT_EQ(body->exists_groups.size(), 1u);
+  EXPECT_EQ(body->exists_groups[0].preds.size(), 1u);
+  const Box* sub =
+      g.value()->RangedBox(body->exists_groups[0].quant_ids[0]);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->preds.size(), 1u);
+  // The EXISTS quantifier is existential.
+  const qgm::Quantifier* eq =
+      g.value()->FindQuant(body->exists_groups[0].quant_ids[0]);
+  EXPECT_EQ(eq->kind, QuantKind::kExists);
+}
+
+TEST(QgmTest, BuilderXnfBoxMirrorsFig4) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::XnfQuery>> q = ParseXnfQuery(R"(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )");
+  ASSERT_TRUE(q.ok());
+  Result<std::unique_ptr<QueryGraph>> g = BuildXnf(c, *q.value());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  const Box* xnf = nullptr;
+  for (size_t i = 0; i < g.value()->box_count(); ++i) {
+    if (g.value()->box(static_cast<int>(i))->kind == BoxKind::kXnf) {
+      xnf = g.value()->box(static_cast<int>(i));
+    }
+  }
+  ASSERT_NE(xnf, nullptr);
+  ASSERT_EQ(xnf->components.size(), 3u);
+  const qgm::XnfComponent* xdept = xnf->FindComponent("XDEPT");
+  const qgm::XnfComponent* xemp = xnf->FindComponent("XEMP");
+  const qgm::XnfComponent* employment = xnf->FindComponent("EMPLOYMENT");
+  ASSERT_NE(xdept, nullptr);
+  ASSERT_NE(xemp, nullptr);
+  ASSERT_NE(employment, nullptr);
+  EXPECT_TRUE(xdept->is_root);
+  EXPECT_FALSE(xdept->reachable);
+  EXPECT_FALSE(xemp->is_root);
+  EXPECT_TRUE(xemp->reachable);  // the 'R' mark of Fig. 4
+  EXPECT_TRUE(employment->is_relationship);
+  EXPECT_EQ(employment->parent, "XDEPT");
+  EXPECT_EQ(employment->role, "EMPLOYS");
+  EXPECT_TRUE(xdept->taken && xemp->taken && employment->taken);
+
+  // The relationship box joins the two component boxes; its head holds
+  // parent columns followed by child columns.
+  const Box* rb = g.value()->box(employment->box_id);
+  EXPECT_EQ(rb->quants.size(), 2u);
+  EXPECT_EQ(rb->head.size(), 2u + 3u);  // DEPT(2) + EMP(3)
+
+  // ToString renders the graph without crashing and mentions the XNF box.
+  std::string rendering = g.value()->ToString();
+  EXPECT_NE(rendering.find("[XNF]"), std::string::npos);
+  EXPECT_NE(rendering.find("component 'XEMP'"), std::string::npos);
+}
+
+TEST(QgmTest, BuilderXnfSemanticErrors) {
+  Catalog c = MakeCatalog();
+  auto build = [&](const std::string& text) {
+    Result<std::unique_ptr<ast::XnfQuery>> q = ParseXnfQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return BuildXnf(c, *q.value());
+  };
+  // Duplicate component name.
+  EXPECT_FALSE(build("OUT OF a AS EMP, a AS DEPT TAKE *").ok());
+  // Unknown partner.
+  EXPECT_FALSE(
+      build("OUT OF a AS EMP, r AS (RELATE a VIA v, ghost WHERE 1 = 1) "
+            "TAKE *")
+          .ok());
+  // Relationship as partner of a relationship.
+  EXPECT_FALSE(
+      build("OUT OF a AS EMP, b AS DEPT, "
+            "r1 AS (RELATE a VIA v, b WHERE a.edno = b.dno), "
+            "r2 AS (RELATE a VIA w, r1 WHERE 1 = 1) TAKE *")
+          .ok());
+  // TAKE of unknown component.
+  EXPECT_FALSE(build("OUT OF a AS EMP TAKE ghost").ok());
+  // TAKE of relationship without its partners.
+  EXPECT_FALSE(
+      build("OUT OF a AS EMP, b AS DEPT, "
+            "r AS (RELATE a VIA v, b WHERE a.edno = b.dno) TAKE a, r")
+          .ok());
+  // Self-relationship without a role.
+  EXPECT_FALSE(
+      build("OUT OF a AS EMP, r AS (RELATE a, a WHERE 1 = 1) TAKE *").ok());
+}
+
+TEST(QgmTest, TypeInference) {
+  Catalog c = MakeCatalog();
+  Result<std::unique_ptr<ast::SelectStmt>> sel = ParseSelectQuery(
+      "SELECT ENO, SAL * 2, ENO + 1, SAL > 0.0, COUNT(*) FROM EMP "
+      "GROUP BY ENO, SAL");
+  ASSERT_TRUE(sel.ok());
+  Result<std::unique_ptr<QueryGraph>> g = BuildSelect(c, *sel.value());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const Box* top = g.value()->box(g.value()->top_box_id());
+  int body = top->outputs[0].box_id;
+  EXPECT_EQ(g.value()->HeadType(body, 0).value(), DataType::kInt);
+  EXPECT_EQ(g.value()->HeadType(body, 1).value(), DataType::kDouble);
+  EXPECT_EQ(g.value()->HeadType(body, 2).value(), DataType::kInt);
+  EXPECT_EQ(g.value()->HeadType(body, 3).value(), DataType::kBool);
+  EXPECT_EQ(g.value()->HeadType(body, 4).value(), DataType::kInt);
+}
+
+}  // namespace
+}  // namespace xnfdb

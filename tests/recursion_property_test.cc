@@ -1,0 +1,166 @@
+// Property tests for recursive COs: the fixpoint evaluator's reachable set
+// must equal an independent BFS oracle over randomly generated part
+// hierarchies (DAGs, diamonds, and data-level cycles).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <random>
+#include <set>
+
+#include "api/database.h"
+
+namespace xnfdb {
+namespace {
+
+struct BomData {
+  int parts = 0;
+  std::vector<std::pair<int, int>> edges;  // assembly -> component
+  std::set<int> roots;                     // anchored part numbers
+};
+
+BomData RandomBom(uint32_t seed) {
+  std::mt19937 rng(seed);
+  BomData bom;
+  bom.parts = 5 + static_cast<int>(rng() % 26);
+  int nedges = static_cast<int>(rng() % (bom.parts * 2));
+  for (int i = 0; i < nedges; ++i) {
+    int a = 1 + static_cast<int>(rng() % bom.parts);
+    int c = 1 + static_cast<int>(rng() % bom.parts);
+    bom.edges.emplace_back(a, c);  // self-loops and cycles allowed
+  }
+  int nroots = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < nroots; ++i) {
+    bom.roots.insert(1 + static_cast<int>(rng() % bom.parts));
+  }
+  return bom;
+}
+
+// Independent oracle: BFS from the root parts' components.
+std::set<int> OracleReachable(const BomData& bom) {
+  std::multimap<int, int> succ;
+  for (auto [a, c] : bom.edges) succ.emplace(a, c);
+  std::set<int> reachable;
+  std::queue<int> work;
+  // Anchor: children of roots (the root component itself is a separate
+  // component in the query; xpart holds reachable non-anchor parts).
+  for (int r : bom.roots) {
+    auto [lo, hi] = succ.equal_range(r);
+    for (auto it = lo; it != hi; ++it) work.push(it->second);
+  }
+  while (!work.empty()) {
+    int p = work.front();
+    work.pop();
+    if (!reachable.insert(p).second) continue;
+    auto [lo, hi] = succ.equal_range(p);
+    for (auto it = lo; it != hi; ++it) work.push(it->second);
+  }
+  return reachable;
+}
+
+class RecursionPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecursionPropertyTest,
+                         ::testing::Range(uint32_t{1}, uint32_t{17}));
+
+TEST_P(RecursionPropertyTest, FixpointMatchesBfsOracle) {
+  BomData bom = RandomBom(GetParam());
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                     "CREATE TABLE PART (PNO INTEGER, ROOTP BOOLEAN);"
+                     "CREATE TABLE USAGE (A INTEGER, C INTEGER)")
+                  .ok());
+  for (int p = 1; p <= bom.parts; ++p) {
+    std::string root = bom.roots.count(p) ? "TRUE" : "FALSE";
+    ASSERT_TRUE(db.Execute("INSERT INTO PART VALUES (" + std::to_string(p) +
+                           ", " + root + ")")
+                    .ok());
+  }
+  for (auto [a, c] : bom.edges) {
+    ASSERT_TRUE(db.Execute("INSERT INTO USAGE VALUES (" + std::to_string(a) +
+                           ", " + std::to_string(c) + ")")
+                    .ok());
+  }
+
+  Result<QueryResult> r = db.Query(R"sql(
+    OUT OF root AS (SELECT * FROM PART WHERE ROOTP = TRUE),
+           xpart AS PART,
+           anchor AS (RELATE root VIA SEEDS, xpart USING USAGE u
+                      WHERE root.pno = u.a AND u.c = xpart.pno),
+           uses AS (RELATE xpart VIA CONTAINS, xpart USING USAGE u
+                    WHERE contains.pno = u.a AND u.c = xpart.pno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::set<int> measured;
+  int xpart = r.value().FindOutput("XPART");
+  for (const Tuple& row : r.value().RowsOf(xpart)) {
+    measured.insert(static_cast<int>(row[0].AsInt()));
+  }
+  EXPECT_EQ(measured, OracleReachable(bom)) << "seed " << GetParam();
+
+  // Invariant: every USES connection links reachable parts.
+  std::map<TupleId, int> tid_to_pno;
+  for (const StreamItem& item : r.value().stream) {
+    if (item.kind == StreamItem::Kind::kRow && item.output == xpart) {
+      tid_to_pno[item.tid] = static_cast<int>(item.values[0].AsInt());
+    }
+  }
+  int uses = r.value().FindOutput("USES");
+  for (const StreamItem& item : r.value().stream) {
+    if (item.kind != StreamItem::Kind::kConnection || item.output != uses) {
+      continue;
+    }
+    for (TupleId tid : item.tids) {
+      ASSERT_TRUE(tid_to_pno.count(tid));
+      EXPECT_TRUE(measured.count(tid_to_pno[tid]));
+    }
+  }
+}
+
+TEST_P(RecursionPropertyTest, ConnectionsMatchEdgeOracle) {
+  BomData bom = RandomBom(GetParam() + 500);
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                     "CREATE TABLE PART (PNO INTEGER, ROOTP BOOLEAN);"
+                     "CREATE TABLE USAGE (A INTEGER, C INTEGER)")
+                  .ok());
+  for (int p = 1; p <= bom.parts; ++p) {
+    std::string root = bom.roots.count(p) ? "TRUE" : "FALSE";
+    ASSERT_TRUE(db.Execute("INSERT INTO PART VALUES (" + std::to_string(p) +
+                           ", " + root + ")")
+                    .ok());
+  }
+  std::set<std::pair<int, int>> unique_edges(bom.edges.begin(),
+                                             bom.edges.end());
+  for (auto [a, c] : unique_edges) {
+    ASSERT_TRUE(db.Execute("INSERT INTO USAGE VALUES (" + std::to_string(a) +
+                           ", " + std::to_string(c) + ")")
+                    .ok());
+  }
+  Result<QueryResult> r = db.Query(R"sql(
+    OUT OF root AS (SELECT * FROM PART WHERE ROOTP = TRUE),
+           xpart AS PART,
+           anchor AS (RELATE root VIA SEEDS, xpart USING USAGE u
+                      WHERE root.pno = u.a AND u.c = xpart.pno),
+           uses AS (RELATE xpart VIA CONTAINS, xpart USING USAGE u
+                    WHERE contains.pno = u.a AND u.c = xpart.pno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok());
+
+  std::set<int> reachable = OracleReachable(bom);
+  // Oracle: edges whose assembly is reachable and component is a candidate.
+  size_t expected = 0;
+  for (auto [a, c] : unique_edges) {
+    if (reachable.count(a)) ++expected;
+  }
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("USES")),
+            expected)
+      << "seed " << GetParam() + 500;
+}
+
+}  // namespace
+}  // namespace xnfdb

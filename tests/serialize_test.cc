@@ -1,0 +1,145 @@
+// Unit tests of the cache serializer: round trips of every value type,
+// pending-change refusal, and robustness against corrupt inputs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/serialize.h"
+#include "cache/xnf_cache.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+    // A component with all value types: int, string, double; plus NULLs.
+    ASSERT_TRUE(db_.ExecuteScript(
+                       "CREATE TABLE MIXED (I INTEGER, S VARCHAR, "
+                       "D DOUBLE, B BOOLEAN);"
+                       "INSERT INTO MIXED VALUES (1, 'a b c', 2.5, TRUE),"
+                       "(2, 'quote '' inside', NULL, FALSE),"
+                       "(NULL, NULL, -0.125, NULL)")
+                    .ok());
+    cache_ =
+        XNFCache::Evaluate(&db_, "OUT OF m AS MIXED TAKE *").value();
+  }
+
+  Database db_;
+  std::unique_ptr<XNFCache> cache_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesValuesAndNulls) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWorkspace(cache_->workspace(), buffer).ok());
+  Result<std::unique_ptr<Workspace>> loaded = LoadWorkspace(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ComponentTable* m = loaded.value()->component("M").value();
+  ASSERT_EQ(m->size(), 3u);
+  // Values survive, including embedded spaces/quotes and NULLs.
+  CachedRow* row1 = m->FindByValue(0, Value(int64_t{1}));
+  ASSERT_NE(row1, nullptr);
+  EXPECT_EQ(row1->values[1].AsString(), "a b c");
+  EXPECT_DOUBLE_EQ(row1->values[2].AsDouble(), 2.5);
+  EXPECT_TRUE(row1->values[3].AsBool());
+  CachedRow* row2 = m->FindByValue(0, Value(int64_t{2}));
+  ASSERT_NE(row2, nullptr);
+  EXPECT_EQ(row2->values[1].AsString(), "quote ' inside");
+  EXPECT_TRUE(row2->values[2].is_null());
+}
+
+TEST_F(SerializeTest, SchemaSurvives) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWorkspace(cache_->workspace(), buffer).ok());
+  Result<std::unique_ptr<Workspace>> loaded = LoadWorkspace(buffer);
+  ASSERT_TRUE(loaded.ok());
+  const Schema& schema = loaded.value()->component("M").value()->schema();
+  ASSERT_EQ(schema.size(), 4u);
+  EXPECT_EQ(schema.column(0).name, "I");
+  EXPECT_EQ(schema.column(0).type, DataType::kInt);
+  EXPECT_EQ(schema.column(2).type, DataType::kDouble);
+  EXPECT_EQ(schema.column(3).type, DataType::kBool);
+}
+
+TEST_F(SerializeTest, RefusesPendingChanges) {
+  ComponentTable* m = cache_->workspace().component("M").value();
+  ASSERT_TRUE(cache_->Update(m->row(0), "S", Value("changed")).ok());
+  std::stringstream buffer;
+  Status s = SaveWorkspace(cache_->workspace(), buffer);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializeTest, ConnectionsRoundTripWithSwizzling) {
+  auto deps = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery).value();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveWorkspace(deps->workspace(), buffer).ok());
+  for (bool swizzle : {true, false}) {
+    std::stringstream copy(buffer.str());
+    WorkspaceOptions options;
+    options.swizzle = swizzle;
+    Result<std::unique_ptr<Workspace>> loaded = LoadWorkspace(copy, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    Relationship* employment =
+        loaded.value()->relationship("EMPLOYMENT").value();
+    EXPECT_EQ(employment->size(), 3u);
+    // Navigation works in both modes on the restored workspace.
+    ComponentTable* xdept = loaded.value()->component("XDEPT").value();
+    CachedRow* d1 = xdept->FindByValue(0, Value(int64_t{1}));
+    ASSERT_NE(d1, nullptr);
+    DependentCursor cursor(loaded.value().get(), employment, d1);
+    int children = 0;
+    while (cursor.Next()) ++children;
+    EXPECT_EQ(children, 2) << "swizzle=" << swizzle;
+  }
+}
+
+TEST_F(SerializeTest, CorruptInputsRejectedGracefully) {
+  const char* cases[] = {
+      "",                                   // empty
+      "WRONG MAGIC\n",                      // bad magic
+      "XNFCACHE 1\nGARBAGE",                // bad section
+      "XNFCACHE 1\nCOMPONENTS 1\nCOMPONENT M 1 1\nCOL A 1\nROW",  // truncated
+      "XNFCACHE 1\nCOMPONENTS 1\nCOMPONENT M 1 1\nCOL A 1\n"
+      "ROW 0\nZ 9\n",                       // bad value tag
+  };
+  for (const char* text : cases) {
+    std::stringstream in(text);
+    Result<std::unique_ptr<Workspace>> loaded = LoadWorkspace(in);
+    EXPECT_FALSE(loaded.ok()) << "input: " << text;
+  }
+}
+
+TEST_F(SerializeTest, DanglingConnectionRejected) {
+  std::stringstream in(
+      "XNFCACHE 1\n"
+      "COMPONENTS 1\n"
+      "COMPONENT A 1 1\n"
+      "COL X 1\n"
+      "ROW 0\n"
+      "I 7\n"
+      "RELATIONSHIPS 1\n"
+      "RELATIONSHIP R 2 1\n"
+      "PARTNER A\n"
+      "PARTNER A\n"
+      "CONN 0 99\n"  // tid 99 does not exist
+      "END\n");
+  Result<std::unique_ptr<Workspace>> loaded = LoadWorkspace(in);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SerializeTest, FileHelpersReportIoErrors) {
+  Result<std::unique_ptr<Workspace>> missing =
+      LoadWorkspaceFromFile("/nonexistent/dir/cache.xc");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  Status bad_write =
+      SaveWorkspaceToFile(cache_->workspace(), "/nonexistent/dir/cache.xc");
+  EXPECT_FALSE(bad_write.ok());
+}
+
+}  // namespace
+}  // namespace xnfdb

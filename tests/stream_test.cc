@@ -1,0 +1,139 @@
+// Invariants of the heterogeneous answer stream (paper Sect. 4.1/5.1):
+// tuple-id assignment and object-sharing dedup, connection well-formedness,
+// SQL multiset semantics vs XNF set semantics, and stream/QueryResult
+// accessor consistency.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "api/database.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(StreamTest, TupleIdsUniquePerComponentAndDense) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok());
+  std::map<int, std::set<TupleId>> tids;
+  for (const StreamItem& item : r.value().stream) {
+    if (item.kind != StreamItem::Kind::kRow) continue;
+    EXPECT_TRUE(tids[item.output].insert(item.tid).second)
+        << "duplicate tid " << item.tid << " in output " << item.output;
+  }
+  // Dense: tids 0..n-1 per component.
+  for (const auto& [output, ids] : tids) {
+    ASSERT_FALSE(ids.empty());
+    EXPECT_EQ(*ids.begin(), 0);
+    EXPECT_EQ(*ids.rbegin(), static_cast<TupleId>(ids.size()) - 1);
+  }
+}
+
+TEST_F(StreamTest, ConnectionsReferenceExistingRows) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.value();
+  std::map<std::string, std::set<TupleId>> tids_by_component;
+  for (const StreamItem& item : result.stream) {
+    if (item.kind == StreamItem::Kind::kRow) {
+      tids_by_component[result.outputs[item.output].name].insert(item.tid);
+    }
+  }
+  for (const StreamItem& item : result.stream) {
+    if (item.kind != StreamItem::Kind::kConnection) continue;
+    const OutputDesc& desc = result.outputs[item.output];
+    ASSERT_EQ(item.tids.size(), desc.partner_names.size());
+    for (size_t pi = 0; pi < item.tids.size(); ++pi) {
+      EXPECT_TRUE(
+          tids_by_component[desc.partner_names[pi]].count(item.tids[pi]))
+          << desc.name << " references missing " << desc.partner_names[pi]
+          << " tid " << item.tids[pi];
+    }
+  }
+}
+
+TEST_F(StreamTest, ConnectionsDeduplicated) {
+  // EMPSKILLS with a duplicated mapping row must still yield one
+  // empproperty connection per distinct (emp, skill) pair.
+  ASSERT_TRUE(db_.Execute("INSERT INTO EMPSKILLS VALUES (10, 1000)").ok());
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.value();
+  int idx = result.FindOutput("EMPPROPERTY");
+  std::set<std::vector<TupleId>> seen;
+  for (const StreamItem& item : result.stream) {
+    if (item.kind != StreamItem::Kind::kConnection || item.output != idx) {
+      continue;
+    }
+    EXPECT_TRUE(seen.insert(item.tids).second) << "duplicate connection";
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(StreamTest, SqlKeepsMultisetSemantics) {
+  // Plain SQL must NOT dedup: LOC has duplicates.
+  Result<QueryResult> r = db_.Query("SELECT LOC FROM DEPT");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows().size(), 3u);  // ARC, ARC, YKT
+  // While an XNF component over the same projection dedups (object
+  // sharing at the view level).
+  Result<QueryResult> x =
+      db_.Query("OUT OF locs AS (SELECT LOC FROM DEPT) TAKE *");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value().RowCount(0), 2u);
+}
+
+TEST_F(StreamTest, AccessorsAgreeWithRawStream) {
+  Result<QueryResult> r = db_.Query(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(r.ok());
+  const QueryResult& result = r.value();
+  for (size_t oi = 0; oi < result.outputs.size(); ++oi) {
+    size_t rows = 0, conns = 0;
+    for (const StreamItem& item : result.stream) {
+      if (item.output != static_cast<int>(oi)) continue;
+      (item.kind == StreamItem::Kind::kRow ? rows : conns) += 1;
+    }
+    EXPECT_EQ(result.RowCount(static_cast<int>(oi)), rows);
+    EXPECT_EQ(result.ConnectionCount(static_cast<int>(oi)), conns);
+    EXPECT_EQ(result.RowsOf(static_cast<int>(oi)).size(), rows);
+  }
+  EXPECT_EQ(result.FindOutput("NO_SUCH_OUTPUT"), -1);
+  // rows_output counts every emitted stream item.
+  EXPECT_EQ(static_cast<size_t>(result.stats.rows_output.load()),
+            result.stream.size());
+}
+
+TEST_F(StreamTest, RowValuesMatchComponentSchema) {
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT DNO, DNAME FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE xdept, xemp(eno), employment
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryResult& result = r.value();
+  for (const StreamItem& item : result.stream) {
+    if (item.kind != StreamItem::Kind::kRow) continue;
+    const OutputDesc& desc = result.outputs[item.output];
+    ASSERT_EQ(item.values.size(), desc.schema.size()) << desc.name;
+    EXPECT_TRUE(desc.schema.ValidateTuple(item.values).ok()) << desc.name;
+  }
+  int xemp = result.FindOutput("XEMP");
+  EXPECT_EQ(result.outputs[xemp].schema.column(0).name, "ENO");
+  EXPECT_EQ(result.outputs[xemp].schema.column(0).type, DataType::kInt);
+}
+
+}  // namespace
+}  // namespace xnfdb

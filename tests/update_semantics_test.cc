@@ -1,0 +1,205 @@
+// End-to-end tests of the paper's Sect. 2 update semantics:
+//
+//  * "Update of the nodes is essentially identical to update of views in
+//    the relational DBMSs" — selection views are updatable;
+//  * "Update of any portion of a base table can always be replaced with
+//    update of a view consisting of a proper selection over the base
+//    table" — updates through restricted views hit the base rows;
+//  * connect/disconnect translate to FK updates / connect-table rows, and
+//    their effects surface on re-evaluation (reachability changes);
+//  * mixed batches of pending operations apply in a consistent order.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/xnf_cache.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class UpdateSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  std::set<int64_t> Extent(XNFCache* cache, const std::string& component) {
+    std::set<int64_t> out;
+    ComponentTable* comp =
+        cache->workspace().component(component).value();
+    for (size_t i = 0; i < comp->size(); ++i) {
+      if (!comp->row(i)->deleted) out.insert(comp->row(i)->values[0].AsInt());
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(UpdateSemanticsTest, UpdateThroughRestrictedViewHitsBaseRow) {
+  // The authorization-style view: only ARC employees visible; an update
+  // through it must update the base EMP row.
+  auto cache = XNFCache::Evaluate(&db_, R"sql(
+    OUT OF visible AS (SELECT * FROM EMP WHERE EDNO = 1)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(cache.ok());
+  ComponentTable* visible =
+      cache.value()->workspace().component("VISIBLE").value();
+  EXPECT_EQ(visible->LiveCount(), 2u);
+  CachedRow* row = visible->FindByValue(0, Value(int64_t{10}));
+  ASSERT_TRUE(cache.value()->Update(row, "SAL", Value(123456.0)).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+
+  Result<QueryResult> check =
+      db_.Query("SELECT SAL FROM EMP WHERE ENO = 10");
+  ASSERT_TRUE(check.ok());
+  EXPECT_DOUBLE_EQ(check.value().rows()[0][0].AsDouble(), 123456.0);
+}
+
+TEST_F(UpdateSemanticsTest, UpdateMovingRowOutOfViewScope) {
+  // Changing the FK through the cache moves the row out of the view's
+  // restriction; the cache still holds it until Refresh.
+  auto cache = XNFCache::Evaluate(
+      &db_, "OUT OF visible AS (SELECT * FROM EMP WHERE EDNO = 1) TAKE *");
+  ASSERT_TRUE(cache.ok());
+  CachedRow* row = cache.value()
+                       ->workspace()
+                       .component("VISIBLE")
+                       .value()
+                       ->FindByValue(0, Value(int64_t{20}));
+  ASSERT_TRUE(cache.value()->Update(row, "EDNO", Value(int64_t{3})).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+  ASSERT_TRUE(cache.value()->Refresh().ok());
+  EXPECT_EQ(Extent(cache.value().get(), "VISIBLE"),
+            (std::set<int64_t>{10}));
+}
+
+TEST_F(UpdateSemanticsTest, DisconnectChangesReachabilityOnRefresh) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  CachedRow* d2 =
+      ws.component("XDEPT").value()->FindByValue(0, Value(int64_t{2}));
+  CachedRow* e3 =
+      ws.component("XEMP").value()->FindByValue(0, Value(int64_t{30}));
+  // e3 is d2's only employee; disconnecting makes it unreachable.
+  ASSERT_TRUE(cache.value()->Disconnect("EMPLOYMENT", d2, e3).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+  ASSERT_TRUE(cache.value()->Refresh().ok());
+  EXPECT_EQ(Extent(cache.value().get(), "XEMP"),
+            (std::set<int64_t>{10, 20}));
+  // The base row survived with a NULL FK (disconnect, not delete).
+  Result<QueryResult> base =
+      db_.Query("SELECT EDNO FROM EMP WHERE ENO = 30");
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base.value().rows().size(), 1u);
+  EXPECT_TRUE(base.value().rows()[0][0].is_null());
+}
+
+TEST_F(UpdateSemanticsTest, ConnectMakesNewRowReachable) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  // Insert a new employee locally and connect it to d1.
+  Result<CachedRow*> fresh = cache.value()->Insert(
+      "XEMP",
+      {Value(int64_t{77}), Value("newhire"), Value(), Value(50000.0)});
+  ASSERT_TRUE(fresh.ok());
+  CachedRow* d1 =
+      ws.component("XDEPT").value()->FindByValue(0, Value(int64_t{1}));
+  ASSERT_TRUE(cache.value()->Connect("EMPLOYMENT", d1, fresh.value()).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+  ASSERT_TRUE(cache.value()->Refresh().ok());
+  EXPECT_EQ(Extent(cache.value().get(), "XEMP"),
+            (std::set<int64_t>{10, 20, 30, 77}));
+}
+
+TEST_F(UpdateSemanticsTest, ConnectTableDisconnectAffectsSharedSkill) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  // Skill s3 (3000) is reachable from e2 AND p1. Removing the employee
+  // mapping must keep it reachable through the project.
+  CachedRow* e2 =
+      ws.component("XEMP").value()->FindByValue(0, Value(int64_t{20}));
+  CachedRow* s3 =
+      ws.component("XSKILLS").value()->FindByValue(0, Value(int64_t{3000}));
+  ASSERT_TRUE(cache.value()->Disconnect("EMPPROPERTY", e2, s3).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+  ASSERT_TRUE(cache.value()->Refresh().ok());
+  std::set<int64_t> skills = Extent(cache.value().get(), "XSKILLS");
+  EXPECT_TRUE(skills.count(3000)) << "s3 still reachable via the project";
+  // Now remove the project mapping as well: s3 drops out of the CO.
+  Workspace& ws2 = cache.value()->workspace();
+  CachedRow* p1 =
+      ws2.component("XPROJ").value()->FindByValue(0, Value(int64_t{100}));
+  CachedRow* s3b =
+      ws2.component("XSKILLS").value()->FindByValue(0, Value(int64_t{3000}));
+  ASSERT_TRUE(cache.value()->Disconnect("PROJPROPERTY", p1, s3b).ok());
+  ASSERT_TRUE(cache.value()->WriteBack().ok());
+  ASSERT_TRUE(cache.value()->Refresh().ok());
+  EXPECT_FALSE(Extent(cache.value().get(), "XSKILLS").count(3000));
+}
+
+TEST_F(UpdateSemanticsTest, MixedBatchAppliesConsistently) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  ComponentTable* xemp = ws.component("XEMP").value();
+  // One update, one insert+connect, one delete — in one batch.
+  CachedRow* e1 = xemp->FindByValue(0, Value(int64_t{10}));
+  ASSERT_TRUE(cache.value()->Update(e1, "ENAME", Value("e1b")).ok());
+  Result<CachedRow*> fresh = cache.value()->Insert(
+      "XEMP", {Value(int64_t{88}), Value("e88"), Value(), Value(1.0)});
+  ASSERT_TRUE(fresh.ok());
+  CachedRow* d2 =
+      ws.component("XDEPT").value()->FindByValue(0, Value(int64_t{2}));
+  ASSERT_TRUE(cache.value()->Connect("EMPLOYMENT", d2, fresh.value()).ok());
+  CachedRow* e2 = xemp->FindByValue(0, Value(int64_t{20}));
+  ASSERT_TRUE(cache.value()->Delete(e2).ok());
+
+  Result<std::vector<std::string>> stmts = cache.value()->WriteBack();
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  // INSERT + UPDATE(name) + UPDATE(fk connect) + DELETE.
+  EXPECT_EQ(stmts.value().size(), 4u);
+
+  Result<QueryResult> names =
+      db_.Query("SELECT ENAME FROM EMP ORDER BY ENO");
+  ASSERT_TRUE(names.ok());
+  std::set<std::string> got;
+  for (const Tuple& row : names.value().rows()) {
+    got.insert(row[0].AsString());
+  }
+  EXPECT_EQ(got, (std::set<std::string>{"e1b", "e3", "e4", "e88"}));
+}
+
+TEST_F(UpdateSemanticsTest, DoubleDeleteAndUpdateAfterDeleteRejected) {
+  auto cache = XNFCache::Evaluate(&db_, "OUT OF x AS EMP TAKE *");
+  ASSERT_TRUE(cache.ok());
+  CachedRow* row = cache.value()->workspace().component("X").value()->row(0);
+  ASSERT_TRUE(cache.value()->Delete(row).ok());
+  EXPECT_FALSE(cache.value()->Delete(row).ok());
+  EXPECT_FALSE(cache.value()->Update(row, "ENAME", Value("zz")).ok());
+}
+
+TEST_F(UpdateSemanticsTest, ConnectValidatesPartners) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  CachedRow* d1 =
+      ws.component("XDEPT").value()->FindByValue(0, Value(int64_t{1}));
+  CachedRow* p1 =
+      ws.component("XPROJ").value()->FindByValue(0, Value(int64_t{100}));
+  // EMPLOYMENT relates XDEPT to XEMP, not XPROJ.
+  EXPECT_FALSE(cache.value()->Connect("EMPLOYMENT", d1, p1).ok());
+  // Disconnecting a non-existent connection fails.
+  CachedRow* e3 =
+      ws.component("XEMP").value()->FindByValue(0, Value(int64_t{30}));
+  EXPECT_FALSE(cache.value()->Disconnect("EMPLOYMENT", d1, e3).ok());
+}
+
+}  // namespace
+}  // namespace xnfdb

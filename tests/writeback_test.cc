@@ -1,0 +1,178 @@
+// Unit tests for the write-back planner: updatability analysis of component
+// and relationship definitions (paper Sect. 2's updatability rules) and the
+// generated SQL.
+
+#include <gtest/gtest.h>
+
+#include "cache/writeback.h"
+#include "cache/xnf_cache.h"
+#include "parser/parser.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class WriteBackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  // Evaluates a query and analyzes one component.
+  ComponentPlan Analyze(const std::string& query,
+                        const std::string& component) {
+    cache_ = XNFCache::Evaluate(&db_, query).value();
+    WriteBackPlanner planner(&db_, &cache_->definition());
+    ComponentTable* comp =
+        cache_->workspace().component(component).value();
+    return planner.AnalyzeComponent(*comp).value();
+  }
+
+  RelationshipPlan AnalyzeRel(const std::string& query,
+                              const std::string& rel) {
+    cache_ = XNFCache::Evaluate(&db_, query).value();
+    WriteBackPlanner planner(&db_, &cache_->definition());
+    Relationship* r = cache_->workspace().relationship(rel).value();
+    return planner.AnalyzeRelationship(*r, &cache_->workspace()).value();
+  }
+
+  Database db_;
+  std::unique_ptr<XNFCache> cache_;
+};
+
+TEST_F(WriteBackTest, ShortcutComponentIsUpdatable) {
+  ComponentPlan plan = Analyze("OUT OF x AS EMP TAKE *", "X");
+  EXPECT_TRUE(plan.updatable);
+  EXPECT_EQ(plan.base_table, "EMP");
+  EXPECT_EQ(plan.column_map, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.key_cached_col, 0);  // ENO is the PK
+}
+
+TEST_F(WriteBackTest, SelectionViewIsUpdatable) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT * FROM EMP WHERE SAL > 0.0) TAKE *", "X");
+  EXPECT_TRUE(plan.updatable);
+}
+
+TEST_F(WriteBackTest, ProjectedColumnsMapThroughAliases) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT ENAME AS N, ENO FROM EMP) TAKE *", "X");
+  ASSERT_TRUE(plan.updatable);
+  EXPECT_EQ(plan.column_map, (std::vector<int>{1, 0}));  // N->ENAME, ENO
+  EXPECT_EQ(plan.key_cached_col, 1);
+}
+
+TEST_F(WriteBackTest, JoinViewIsNotUpdatable) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT e.ENO, d.DNAME FROM EMP e, DEPT d "
+      "WHERE e.EDNO = d.DNO) TAKE *",
+      "X");
+  EXPECT_FALSE(plan.updatable);
+  EXPECT_NE(plan.reason.find("join"), std::string::npos);
+}
+
+TEST_F(WriteBackTest, ComputedColumnIsNotUpdatable) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT ENO, SAL * 2 AS DOUBLE_SAL FROM EMP) TAKE *",
+      "X");
+  EXPECT_FALSE(plan.updatable);
+}
+
+TEST_F(WriteBackTest, DistinctViewIsNotUpdatable) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT DISTINCT EDNO FROM EMP) TAKE *", "X");
+  EXPECT_FALSE(plan.updatable);
+}
+
+TEST_F(WriteBackTest, ProjectedOutPrimaryKeyFallsBackToFullMatch) {
+  ComponentPlan plan = Analyze(
+      "OUT OF x AS (SELECT ENAME, SAL FROM EMP) TAKE *", "X");
+  ASSERT_TRUE(plan.updatable);
+  EXPECT_EQ(plan.key_cached_col, -1);  // no PK in the cache
+}
+
+TEST_F(WriteBackTest, ForeignKeyRelationshipPlan) {
+  RelationshipPlan plan = AnalyzeRel(
+      "OUT OF d AS DEPT, e AS EMP, "
+      "r AS (RELATE d VIA EMPLOYS, e WHERE d.DNO = e.EDNO) TAKE *",
+      "R");
+  EXPECT_EQ(plan.kind, RelationshipPlan::Kind::kForeignKey);
+  EXPECT_EQ(plan.child_base, "EMP");
+  EXPECT_EQ(plan.child_fk_column, "EDNO");
+}
+
+TEST_F(WriteBackTest, ConnectTableRelationshipPlan) {
+  RelationshipPlan plan = AnalyzeRel(
+      "OUT OF e AS EMP, s AS SKILLS, "
+      "r AS (RELATE e VIA HAS, s USING EMPSKILLS es "
+      "      WHERE e.ENO = es.ESENO AND es.ESSNO = s.SNO) TAKE *",
+      "R");
+  EXPECT_EQ(plan.kind, RelationshipPlan::Kind::kConnectTable);
+  EXPECT_EQ(plan.connect_table, "EMPSKILLS");
+  EXPECT_EQ(plan.ct_parent_column, "ESENO");
+  EXPECT_EQ(plan.ct_child_column, "ESSNO");
+}
+
+TEST_F(WriteBackTest, UndeclaredForeignKeyRejected) {
+  // DEPT.DNO = PROJ.PNO has no declared FK from PROJ.PNO to DEPT.
+  RelationshipPlan plan = AnalyzeRel(
+      "OUT OF d AS DEPT, p AS PROJ, "
+      "r AS (RELATE d VIA OWNS, p WHERE d.DNO = p.PNO) TAKE *",
+      "R");
+  EXPECT_EQ(plan.kind, RelationshipPlan::Kind::kNotUpdatable);
+  EXPECT_NE(plan.reason.find("foreign key"), std::string::npos);
+}
+
+TEST_F(WriteBackTest, RichPredicateRejected) {
+  RelationshipPlan plan = AnalyzeRel(
+      "OUT OF d AS DEPT, e AS EMP, "
+      "r AS (RELATE d VIA EMPLOYS, e WHERE d.DNO = e.EDNO AND e.SAL > 0.0) "
+      "TAKE *",
+      "R");
+  // The extra non-join conjunct is tolerated only if it is an equality;
+  // SAL > 0 makes the predicate richer than FK form.
+  EXPECT_EQ(plan.kind, RelationshipPlan::Kind::kNotUpdatable);
+}
+
+TEST_F(WriteBackTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(SqlLiteral(Value("it's")), "'it''s'");
+  EXPECT_EQ(SqlLiteral(Value(int64_t{42})), "42");
+  EXPECT_EQ(SqlLiteral(Value::Null()), "NULL");
+}
+
+TEST_F(WriteBackTest, UpdateWithoutPkMatchesOnAllOriginalColumns) {
+  auto cache = XNFCache::Evaluate(
+      &db_, "OUT OF x AS (SELECT ENAME, SAL FROM EMP) TAKE *");
+  ASSERT_TRUE(cache.ok());
+  ComponentTable* x = cache.value()->workspace().component("X").value();
+  CachedRow* row = x->FindByValue(0, Value("e1"));
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(cache.value()->Update(row, "SAL", Value(123.0)).ok());
+  Result<std::vector<std::string>> stmts = cache.value()->WriteBack();
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  ASSERT_EQ(stmts.value().size(), 1u);
+  // The predicate must use both original values.
+  EXPECT_NE(stmts.value()[0].find("ENAME = 'e1'"), std::string::npos);
+  EXPECT_NE(stmts.value()[0].find("AND"), std::string::npos);
+}
+
+TEST_F(WriteBackTest, DisconnectThenWriteBackDeletesConnectRow) {
+  auto cache = XNFCache::Evaluate(&db_, testing_util::kDepsArcQuery);
+  ASSERT_TRUE(cache.ok());
+  Workspace& ws = cache.value()->workspace();
+  CachedRow* e1 = ws.component("XEMP").value()->FindByValue(
+      0, Value(int64_t{10}));
+  CachedRow* s1 = ws.component("XSKILLS").value()->FindByValue(
+      0, Value(int64_t{1000}));
+  ASSERT_TRUE(
+      cache.value()->Disconnect("EMPPROPERTY", e1, s1).ok());
+  Result<std::vector<std::string>> stmts = cache.value()->WriteBack();
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+  Result<QueryResult> check = db_.Query(
+      "SELECT ESSNO FROM EMPSKILLS WHERE ESENO = 10");
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check.value().rows().empty());
+}
+
+}  // namespace
+}  // namespace xnfdb

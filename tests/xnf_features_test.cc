@@ -1,0 +1,238 @@
+// Feature-matrix tests for XNF query shapes beyond the running example:
+// n-ary relationships, combination of COs (a relationship between roots),
+// TAKE routing through non-taken intermediate components, components over
+// SQL views, deep hierarchies, empty extents, and restriction predicates.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/database.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+class XnfFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing_util::LoadPaperDb(&db_).ok());
+  }
+
+  std::set<int64_t> Values(const QueryResult& r, const std::string& output,
+                           int col = 0) {
+    std::set<int64_t> out;
+    int idx = r.FindOutput(output);
+    EXPECT_GE(idx, 0) << output;
+    for (const Tuple& row : r.RowsOf(idx)) out.insert(row[col].AsInt());
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(XnfFeaturesTest, NaryRelationshipConnectsThreePartners) {
+  // dept - emp - proj triples of the same department.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           xproj AS PROJ,
+           staffing AS (RELATE xdept VIA STAFFS, xemp, xproj
+                        WHERE xdept.dno = xemp.edno AND
+                              xdept.dno = xproj.pdno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int staffing = r.value().FindOutput("STAFFING");
+  ASSERT_GE(staffing, 0);
+  EXPECT_EQ(r.value().outputs[staffing].partner_names.size(), 3u);
+  // d1 x {e1,e2} x {p1} = 2 triples; d2 x {e3} x {p2} = 1 triple.
+  EXPECT_EQ(r.value().ConnectionCount(staffing), 3u);
+  // Every connection carries three tuple ids.
+  for (const StreamItem& item : r.value().stream) {
+    if (item.kind == StreamItem::Kind::kConnection &&
+        item.output == staffing) {
+      EXPECT_EQ(item.tids.size(), 3u);
+    }
+  }
+  EXPECT_EQ(Values(r.value(), "XEMP"), (std::set<int64_t>{10, 20, 30}));
+  EXPECT_EQ(Values(r.value(), "XPROJ"), (std::set<int64_t>{100, 200}));
+}
+
+TEST_F(XnfFeaturesTest, CombinationOfTwoIndependentCOs) {
+  // "Combination is done by simply defining a relationship between any node
+  // of one CO and any node of another one" (Sect. 2). Two roots related.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF arc_depts AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           ykt_depts AS (SELECT * FROM DEPT WHERE LOC = 'YKT'),
+           pairing AS (RELATE arc_depts VIA PAIRS, ykt_depts
+                       WHERE arc_depts.dno < ykt_depts.dno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ykt_depts is a child => reachability filters to those paired.
+  EXPECT_EQ(Values(r.value(), "ARC_DEPTS"), (std::set<int64_t>{1, 2}));
+  EXPECT_EQ(Values(r.value(), "YKT_DEPTS"), (std::set<int64_t>{3}));
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("PAIRING")), 2u);
+}
+
+TEST_F(XnfFeaturesTest, TakeSubsetStillRoutesThroughIntermediates) {
+  // Take only xdept and xskills: reachability of skills still goes through
+  // the non-taken xemp component.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           xskills AS SKILLS,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno),
+           property AS (RELATE xemp VIA HAS, xskills USING EMPSKILLS es
+                        WHERE xemp.eno = es.eseno AND es.essno = xskills.sno)
+    TAKE xdept, xskills
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().outputs.size(), 2u);
+  EXPECT_EQ(Values(r.value(), "XSKILLS"),
+            (std::set<int64_t>{1000, 3000, 4000}));
+}
+
+TEST_F(XnfFeaturesTest, ComponentOverSqlView) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW WELL_PAID AS SELECT * FROM EMP "
+                          "WHERE SAL >= 85000.0")
+                  .ok());
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           stars AS (SELECT * FROM WELL_PAID),
+           employment AS (RELATE xdept VIA EMPLOYS, stars
+                          WHERE xdept.dno = stars.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Values(r.value(), "STARS"), (std::set<int64_t>{10, 30}));
+}
+
+TEST_F(XnfFeaturesTest, DeepHierarchyFourLevels) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE TASK (TNO INTEGER, TPNO INTEGER);
+    INSERT INTO TASK VALUES (1, 100), (2, 100), (3, 200), (4, 300);
+  )sql")
+                  .ok());
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           xproj AS PROJ,
+           xtask AS TASK,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno),
+           ownership AS (RELATE xdept VIA HAS, xproj
+                         WHERE xdept.dno = xproj.pdno),
+           work AS (RELATE xproj VIA SPLITS, xtask
+                    WHERE xproj.pno = xtask.tpno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Tasks of reachable projects 100 and 200 only (task 4 is on p3/YKT).
+  EXPECT_EQ(Values(r.value(), "XTASK"), (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST_F(XnfFeaturesTest, EmptyRootProducesEmptyCO) {
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'NOWHERE'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().stream.empty());
+}
+
+TEST_F(XnfFeaturesTest, ComponentRestrictionIntersectsReachability) {
+  // xemp restricted by its own predicate AND reachability.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS (SELECT * FROM EMP WHERE SAL > 82000.0),
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // e1 (90k, ARC) and e3 (85k, ARC) qualify; e2 fails the restriction;
+  // e4 fails reachability.
+  EXPECT_EQ(Values(r.value(), "XEMP"), (std::set<int64_t>{10, 30}));
+}
+
+TEST_F(XnfFeaturesTest, TwoRelationshipsBetweenSameComponents) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE MENTORS (MDNO INTEGER, MENO INTEGER);
+    INSERT INTO MENTORS VALUES (1, 30), (2, 10);
+  )sql")
+                  .ok());
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno),
+           mentoring AS (RELATE xdept VIA MENTORED_BY, xemp USING MENTORS m
+                         WHERE xdept.dno = m.mdno AND m.meno = xemp.eno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // xemp reachable through either relationship (e4 still excluded).
+  EXPECT_EQ(Values(r.value(), "XEMP"), (std::set<int64_t>{10, 20, 30}));
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("EMPLOYMENT")),
+            3u);
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("MENTORING")),
+            2u);
+}
+
+TEST_F(XnfFeaturesTest, FreeComponentKeepsFullExtent) {
+  // The fine-grained reachability override: xemp AS FREE EMP keeps all
+  // employees even though xemp is a child of employment; connections still
+  // only link the ones actually related.
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS FREE EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // e4 (40) stays despite being unreachable.
+  EXPECT_EQ(Values(r.value(), "XEMP"), (std::set<int64_t>{10, 20, 30, 40}));
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("EMPLOYMENT")),
+            3u);
+}
+
+TEST_F(XnfFeaturesTest, FreeOnRelationshipRejected) {
+  Result<QueryResult> r = db_.Query(R"sql(
+    OUT OF xdept AS DEPT, xemp AS EMP,
+           employment AS FREE (RELATE xdept VIA EMPLOYS, xemp
+                               WHERE xdept.dno = xemp.edno)
+    TAKE *
+  )sql");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(XnfFeaturesTest, StoredXnfViewWithTakeProjection) {
+  ASSERT_TRUE(db_.Execute(R"sql(
+    CREATE VIEW SLIM AS
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE LOC = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE xdept(dno), xemp(eno, ename), employment
+  )sql")
+                  .ok());
+  Result<QueryResult> r = db_.Query("SLIM");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int xdept = r.value().FindOutput("XDEPT");
+  int xemp = r.value().FindOutput("XEMP");
+  EXPECT_EQ(r.value().outputs[xdept].schema.size(), 1u);
+  EXPECT_EQ(r.value().outputs[xemp].schema.size(), 2u);
+  EXPECT_EQ(r.value().ConnectionCount(r.value().FindOutput("EMPLOYMENT")),
+            3u);
+}
+
+}  // namespace
+}  // namespace xnfdb
