@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_traversal.dir/bench_cache_traversal.cc.o"
+  "CMakeFiles/bench_cache_traversal.dir/bench_cache_traversal.cc.o.d"
+  "bench_cache_traversal"
+  "bench_cache_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleanup_rules.dir/bench_cleanup_rules.cc.o"
+  "CMakeFiles/bench_cleanup_rules.dir/bench_cleanup_rules.cc.o.d"
+  "bench_cleanup_rules"
+  "bench_cleanup_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleanup_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

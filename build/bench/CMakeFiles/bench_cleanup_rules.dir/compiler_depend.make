@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cleanup_rules.
+# This may be replaced when dependencies are built.

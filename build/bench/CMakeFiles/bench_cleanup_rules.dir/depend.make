@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cleanup_rules.
+# This may be replaced when dependencies are built.

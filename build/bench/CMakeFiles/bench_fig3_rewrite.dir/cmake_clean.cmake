@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rewrite.dir/bench_fig3_rewrite.cc.o"
+  "CMakeFiles/bench_fig3_rewrite.dir/bench_fig3_rewrite.cc.o.d"
+  "bench_fig3_rewrite"
+  "bench_fig3_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multiquery.dir/bench_fig6_multiquery.cc.o"
+  "CMakeFiles/bench_fig6_multiquery.dir/bench_fig6_multiquery.cc.o.d"
+  "bench_fig6_multiquery"
+  "bench_fig6_multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_output_opt.dir/bench_output_opt.cc.o"
+  "CMakeFiles/bench_output_opt.dir/bench_output_opt.cc.o.d"
+  "bench_output_opt"
+  "bench_output_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_output_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

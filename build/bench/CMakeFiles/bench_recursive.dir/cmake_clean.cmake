@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recursive.dir/bench_recursive.cc.o"
+  "CMakeFiles/bench_recursive.dir/bench_recursive.cc.o.d"
+  "bench_recursive"
+  "bench_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

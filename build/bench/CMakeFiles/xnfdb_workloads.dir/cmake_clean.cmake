@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_workloads.dir/workloads.cc.o"
+  "CMakeFiles/xnfdb_workloads.dir/workloads.cc.o.d"
+  "libxnfdb_workloads.a"
+  "libxnfdb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxnfdb_workloads.a"
+)

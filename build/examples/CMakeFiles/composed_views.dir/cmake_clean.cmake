@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composed_views.dir/composed_views.cpp.o"
+  "CMakeFiles/composed_views.dir/composed_views.cpp.o.d"
+  "composed_views"
+  "composed_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composed_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_browser.dir/design_browser.cpp.o"
+  "CMakeFiles/design_browser.dir/design_browser.cpp.o.d"
+  "design_browser"
+  "design_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_gateway.dir/object_gateway.cpp.o"
+  "CMakeFiles/object_gateway.dir/object_gateway.cpp.o.d"
+  "object_gateway"
+  "object_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_shell.dir/xnfdb_shell.cpp.o"
+  "CMakeFiles/xnfdb_shell.dir/xnfdb_shell.cpp.o.d"
+  "xnfdb_shell"
+  "xnfdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_api.dir/database.cc.o"
+  "CMakeFiles/xnfdb_api.dir/database.cc.o.d"
+  "libxnfdb_api.a"
+  "libxnfdb_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_cache.dir/cursor.cc.o"
+  "CMakeFiles/xnfdb_cache.dir/cursor.cc.o.d"
+  "CMakeFiles/xnfdb_cache.dir/serialize.cc.o"
+  "CMakeFiles/xnfdb_cache.dir/serialize.cc.o.d"
+  "CMakeFiles/xnfdb_cache.dir/workspace.cc.o"
+  "CMakeFiles/xnfdb_cache.dir/workspace.cc.o.d"
+  "CMakeFiles/xnfdb_cache.dir/writeback.cc.o"
+  "CMakeFiles/xnfdb_cache.dir/writeback.cc.o.d"
+  "CMakeFiles/xnfdb_cache.dir/xnf_cache.cc.o"
+  "CMakeFiles/xnfdb_cache.dir/xnf_cache.cc.o.d"
+  "libxnfdb_cache.a"
+  "libxnfdb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_common.dir/schema.cc.o"
+  "CMakeFiles/xnfdb_common.dir/schema.cc.o.d"
+  "CMakeFiles/xnfdb_common.dir/status.cc.o"
+  "CMakeFiles/xnfdb_common.dir/status.cc.o.d"
+  "CMakeFiles/xnfdb_common.dir/str_util.cc.o"
+  "CMakeFiles/xnfdb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/xnfdb_common.dir/value.cc.o"
+  "CMakeFiles/xnfdb_common.dir/value.cc.o.d"
+  "libxnfdb_common.a"
+  "libxnfdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

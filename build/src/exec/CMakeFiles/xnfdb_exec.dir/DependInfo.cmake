@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/planner.cc" "src/exec/CMakeFiles/xnfdb_exec.dir/__/optimizer/planner.cc.o" "gcc" "src/exec/CMakeFiles/xnfdb_exec.dir/__/optimizer/planner.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/xnfdb_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/xnfdb_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/exec/CMakeFiles/xnfdb_exec.dir/expr_eval.cc.o" "gcc" "src/exec/CMakeFiles/xnfdb_exec.dir/expr_eval.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/xnfdb_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/xnfdb_exec.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgm/CMakeFiles/xnfdb_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xnfdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_exec.dir/__/optimizer/planner.cc.o"
+  "CMakeFiles/xnfdb_exec.dir/__/optimizer/planner.cc.o.d"
+  "CMakeFiles/xnfdb_exec.dir/executor.cc.o"
+  "CMakeFiles/xnfdb_exec.dir/executor.cc.o.d"
+  "CMakeFiles/xnfdb_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/xnfdb_exec.dir/expr_eval.cc.o.d"
+  "CMakeFiles/xnfdb_exec.dir/operators.cc.o"
+  "CMakeFiles/xnfdb_exec.dir/operators.cc.o.d"
+  "libxnfdb_exec.a"
+  "libxnfdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

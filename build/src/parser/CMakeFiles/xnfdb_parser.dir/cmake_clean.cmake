@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_parser.dir/ast.cc.o"
+  "CMakeFiles/xnfdb_parser.dir/ast.cc.o.d"
+  "CMakeFiles/xnfdb_parser.dir/lexer.cc.o"
+  "CMakeFiles/xnfdb_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/xnfdb_parser.dir/parser.cc.o"
+  "CMakeFiles/xnfdb_parser.dir/parser.cc.o.d"
+  "libxnfdb_parser.a"
+  "libxnfdb_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_qgm.dir/dot.cc.o"
+  "CMakeFiles/xnfdb_qgm.dir/dot.cc.o.d"
+  "CMakeFiles/xnfdb_qgm.dir/qgm.cc.o"
+  "CMakeFiles/xnfdb_qgm.dir/qgm.cc.o.d"
+  "libxnfdb_qgm.a"
+  "libxnfdb_qgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_qgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

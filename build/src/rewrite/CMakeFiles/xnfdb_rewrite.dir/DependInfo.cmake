@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/nf_rules.cc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/nf_rules.cc.o" "gcc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/nf_rules.cc.o.d"
+  "/root/repo/src/rewrite/rule.cc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/rule.cc.o" "gcc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/rule.cc.o.d"
+  "/root/repo/src/rewrite/xnf_rewrite.cc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/xnf_rewrite.cc.o" "gcc" "src/rewrite/CMakeFiles/xnfdb_rewrite.dir/xnf_rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xnfdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgm/CMakeFiles/xnfdb_qgm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

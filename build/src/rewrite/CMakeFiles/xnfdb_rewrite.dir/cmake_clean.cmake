@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_rewrite.dir/nf_rules.cc.o"
+  "CMakeFiles/xnfdb_rewrite.dir/nf_rules.cc.o.d"
+  "CMakeFiles/xnfdb_rewrite.dir/rule.cc.o"
+  "CMakeFiles/xnfdb_rewrite.dir/rule.cc.o.d"
+  "CMakeFiles/xnfdb_rewrite.dir/xnf_rewrite.cc.o"
+  "CMakeFiles/xnfdb_rewrite.dir/xnf_rewrite.cc.o.d"
+  "libxnfdb_rewrite.a"
+  "libxnfdb_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_semantics.dir/builder.cc.o"
+  "CMakeFiles/xnfdb_semantics.dir/builder.cc.o.d"
+  "libxnfdb_semantics.a"
+  "libxnfdb_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

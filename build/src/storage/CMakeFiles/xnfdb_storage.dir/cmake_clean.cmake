@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/xnfdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/xnfdb_storage.dir/persist.cc.o"
+  "CMakeFiles/xnfdb_storage.dir/persist.cc.o.d"
+  "CMakeFiles/xnfdb_storage.dir/table.cc.o"
+  "CMakeFiles/xnfdb_storage.dir/table.cc.o.d"
+  "libxnfdb_storage.a"
+  "libxnfdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

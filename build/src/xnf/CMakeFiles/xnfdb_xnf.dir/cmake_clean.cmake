@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfdb_xnf.dir/compiler.cc.o"
+  "CMakeFiles/xnfdb_xnf.dir/compiler.cc.o.d"
+  "CMakeFiles/xnfdb_xnf.dir/fixpoint.cc.o"
+  "CMakeFiles/xnfdb_xnf.dir/fixpoint.cc.o.d"
+  "CMakeFiles/xnfdb_xnf.dir/op_count.cc.o"
+  "CMakeFiles/xnfdb_xnf.dir/op_count.cc.o.d"
+  "libxnfdb_xnf.a"
+  "libxnfdb_xnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfdb_xnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

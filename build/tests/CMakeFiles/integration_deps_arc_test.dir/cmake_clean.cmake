@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_deps_arc_test.dir/integration_deps_arc_test.cc.o"
+  "CMakeFiles/integration_deps_arc_test.dir/integration_deps_arc_test.cc.o.d"
+  "integration_deps_arc_test"
+  "integration_deps_arc_test.pdb"
+  "integration_deps_arc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_deps_arc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursion_property_test.dir/recursion_property_test.cc.o"
+  "CMakeFiles/recursion_property_test.dir/recursion_property_test.cc.o.d"
+  "recursion_property_test"
+  "recursion_property_test.pdb"
+  "recursion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_semantics_test.dir/update_semantics_test.cc.o"
+  "CMakeFiles/update_semantics_test.dir/update_semantics_test.cc.o.d"
+  "update_semantics_test"
+  "update_semantics_test.pdb"
+  "update_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/writeback_test.cc" "tests/CMakeFiles/writeback_test.dir/writeback_test.cc.o" "gcc" "tests/CMakeFiles/writeback_test.dir/writeback_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/xnfdb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xnfdb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/xnfdb_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnf/CMakeFiles/xnfdb_xnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xnfdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/xnfdb_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/xnfdb_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/qgm/CMakeFiles/xnfdb_qgm.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/xnfdb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xnfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xnfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnf_features_test.dir/xnf_features_test.cc.o"
+  "CMakeFiles/xnf_features_test.dir/xnf_features_test.cc.o.d"
+  "xnf_features_test"
+  "xnf_features_test.pdb"
+  "xnf_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnf_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
