@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 suite in a normal build, then the durability
+# tests (fault injection, corruption fuzzing, write-back journal) under
+# AddressSanitizer + UndefinedBehaviorSanitizer so that hostile inputs that
+# would over-read or overflow are caught, not just mis-parsed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: full suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitizers: durability tests under ASan+UBSan =="
+cmake -B build-san -S . -DXNFDB_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j "$(nproc)" \
+    --target env_test corruption_test journal_test persist_test \
+             serialize_test >/dev/null
+ctest --test-dir build-san --output-on-failure -j "$(nproc)" \
+    -R 'Crc32|PosixEnv|FaultInjection|Corruption|Journal|Persist|Serialize'
+
+echo "verify: OK"

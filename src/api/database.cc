@@ -5,6 +5,7 @@
 #include "exec/expr_eval.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
+#include "storage/persist.h"
 #include "xnf/fixpoint.h"
 #include "xnf/op_count.h"
 
@@ -92,6 +93,10 @@ Result<Value> EvalLiteralExpr(const ast::Expr& e) {
 
 Result<Database::Outcome> Database::Execute(const std::string& sql) {
   CountServerCall();
+  if (transient_failures_ > 0) {
+    --transient_failures_;
+    return Status::IoError("injected transient server failure");
+  }
   XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatement(sql));
   Outcome outcome;
   XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
@@ -107,6 +112,14 @@ Result<size_t> Database::ExecuteScript(const std::string& script) {
     XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
   }
   return stmts.size();
+}
+
+Status Database::SaveTo(const std::string& path) const {
+  return SaveCatalogToFile(catalog_, path, env_);
+}
+
+Status Database::LoadFrom(const std::string& path) {
+  return LoadCatalogFromFile(path, &catalog_, env_);
 }
 
 Result<QueryResult> Database::Query(const std::string& text,

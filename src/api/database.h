@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "parser/ast.h"
@@ -24,9 +25,14 @@ namespace xnfdb {
 
 class Database {
  public:
-  Database() = default;
+  Database() : Database(Env::Default()) {}
+  // All of this database's durable I/O (SaveTo/LoadFrom) goes through
+  // `env`; pass a FaultInjectionEnv to exercise failure paths.
+  explicit Database(Env* env) : env_(env) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  Env* env() const { return env_; }
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -64,6 +70,15 @@ class Database {
                               const CompileOptions& copts = {},
                               const ExecOptions& eopts = {});
 
+  // --- persistence (storage/persist.h through the env) --------------------
+  // Saves the whole catalog crash-safely: v2 checksummed format, written to
+  // a temp file, synced, then atomically renamed over `path` — an
+  // interrupted save leaves the previous database file intact.
+  Status SaveTo(const std::string& path) const;
+  // Restores a database saved with SaveTo (v1 and v2 files); the catalog
+  // must be empty.
+  Status LoadFrom(const std::string& path);
+
   // --- client/server boundary model (Sect. 5.1) ---------------------------
   // Every Execute/Query counts one server call; per-tuple cursor fetches
   // (see FetchAll) count one call per tuple, modelling the traditional
@@ -71,6 +86,11 @@ class Database {
   int64_t server_calls() const { return server_calls_; }
   void ResetServerCalls() { server_calls_ = 0; }
   void CountServerCall(int64_t n = 1) { server_calls_ += n; }
+
+  // Models transient failures of the client/server boundary: the next `n`
+  // Execute calls fail with kIoError before doing any work. Lets tests
+  // drive write-back's bounded retry-with-backoff path.
+  void InjectTransientFailures(int n) { transient_failures_ = n; }
 
  private:
   Status RunStatement(const ast::Statement& stmt, Outcome* outcome);
@@ -80,7 +100,9 @@ class Database {
   Status RunDelete(const ast::DeleteStatement& stmt, Outcome* outcome);
 
   Catalog catalog_;
+  Env* env_;
   int64_t server_calls_ = 0;
+  int transient_failures_ = 0;
 };
 
 }  // namespace xnfdb

@@ -3,11 +3,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_format.h"
+
 namespace xnfdb {
 
 namespace {
 
-constexpr char kMagic[] = "XNFCACHE 1";
+constexpr char kMagicV1[] = "XNFCACHE 1";
+constexpr char kMagicV2[] = "XNFCACHE 2";
 
 void WriteValue(std::ostream& out, const Value& v) {
   switch (v.type()) {
@@ -40,25 +43,33 @@ Result<Value> ReadValue(std::istream& in) {
   if (tag == "N") return Value::Null();
   if (tag == "I") {
     int64_t v;
-    in >> v;
+    if (!(in >> v)) return Status::IoError("bad integer in cache file");
     return Value(v);
   }
   if (tag == "D") {
     double v;
-    in >> v;
+    if (!(in >> v)) return Status::IoError("bad double in cache file");
     return Value(v);
   }
   if (tag == "B") {
     int v;
-    in >> v;
+    if (!(in >> v)) return Status::IoError("bad boolean in cache file");
     return Value(v != 0);
   }
   if (tag == "S") {
     size_t len;
-    in >> len;
+    if (!(in >> len)) return Status::IoError("bad string length");
     in.get();  // the separating space
+    int64_t remaining = StreamRemainingBytes(in);
+    if (remaining >= 0 && static_cast<int64_t>(len) > remaining) {
+      return Status::IoError("string length " + std::to_string(len) +
+                             " exceeds remaining cache file");
+    }
     std::string s(len, '\0');
     in.read(s.data(), static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in.gcount()) != len) {
+      return Status::IoError("truncated string value in cache file");
+    }
     return Value(std::move(s));
   }
   return Status::IoError("bad value tag '" + tag + "' in cache file");
@@ -69,12 +80,7 @@ Result<Value> ReadValue(std::istream& in) {
 // Friend of Workspace; performs the actual reconstruction.
 class CacheSerializer {
  public:
-  static Status Save(const Workspace& ws, std::ostream& out) {
-    if (ws.HasPendingChanges()) {
-      return Status::InvalidArgument(
-          "workspace has pending changes; write back before saving");
-    }
-    out << kMagic << "\n";
+  static void WriteComponentsPayload(const Workspace& ws, std::ostream& out) {
     out << "COMPONENTS " << ws.components_.size() << "\n";
     for (const auto& comp : ws.components_) {
       out << "COMPONENT " << comp->name() << " " << comp->schema().size()
@@ -89,6 +95,10 @@ class CacheSerializer {
         for (const Value& v : row->values) WriteValue(out, v);
       }
     }
+  }
+
+  static void WriteRelationshipsPayload(const Workspace& ws,
+                                        std::ostream& out) {
     out << "RELATIONSHIPS " << ws.relationships_.size() << "\n";
     for (const auto& rel : ws.relationships_) {
       out << "RELATIONSHIP " << rel->name() << " "
@@ -103,41 +113,70 @@ class CacheSerializer {
         out << "\n";
       }
     }
-    out << "END\n";
+  }
+
+  static Status Save(const Workspace& ws, std::ostream& out,
+                     int format_version) {
+    if (ws.HasPendingChanges()) {
+      return Status::InvalidArgument(
+          "workspace has pending changes; write back before saving");
+    }
+    std::ostringstream components, relationships;
+    WriteComponentsPayload(ws, components);
+    WriteRelationshipsPayload(ws, relationships);
+    if (format_version == 1) {
+      out << kMagicV1 << "\n"
+          << components.str() << relationships.str() << "END\n";
+    } else if (format_version == kCacheFormatVersion) {
+      std::vector<FileSection> sections(2);
+      sections[0].name = "COMPONENTS";
+      sections[0].records = ws.components_.size();
+      sections[0].payload = components.str();
+      sections[1].name = "RELATIONSHIPS";
+      sections[1].records = ws.relationships_.size();
+      sections[1].payload = relationships.str();
+      WriteSectionedFile(out, kMagicV2, sections);
+    } else {
+      return Status::InvalidArgument("unsupported cache format version " +
+                                     std::to_string(format_version));
+    }
     return out.good() ? Status::Ok()
                       : Status::IoError("write to cache stream failed");
   }
 
-  static Result<std::unique_ptr<Workspace>> Load(
-      std::istream& in, const WorkspaceOptions& options) {
-    std::string line;
-    if (!std::getline(in, line) || line != kMagic) {
-      return Status::IoError("bad cache file magic");
-    }
-    std::unique_ptr<Workspace> ws(new Workspace(options));
+  static Status ParseComponentsBody(std::istream& in, Workspace* ws) {
     std::string word;
     size_t n_components;
-    in >> word >> n_components;
-    if (word != "COMPONENTS") return Status::IoError("expected COMPONENTS");
+    if (!(in >> word >> n_components) || word != "COMPONENTS") {
+      return Status::IoError("expected COMPONENTS");
+    }
     for (size_t c = 0; c < n_components; ++c) {
       std::string name;
       size_t ncols, nrows;
-      in >> word >> name >> ncols >> nrows;
-      if (word != "COMPONENT") return Status::IoError("expected COMPONENT");
+      if (!(in >> word >> name >> ncols >> nrows) || word != "COMPONENT") {
+        return Status::IoError("expected COMPONENT");
+      }
       Schema schema;
       for (size_t i = 0; i < ncols; ++i) {
         std::string col_name;
         int type;
-        in >> word >> col_name >> type;
-        if (word != "COL") return Status::IoError("expected COL");
+        if (!(in >> word >> col_name >> type) || word != "COL") {
+          return Status::IoError("expected COL");
+        }
+        if (type < 0 || type > static_cast<int>(DataType::kBool)) {
+          return Status::IoError("cached column " + col_name +
+                                 " has invalid type tag " +
+                                 std::to_string(type));
+        }
         schema.AddColumn(Column{col_name, static_cast<DataType>(type)});
       }
       auto comp = std::make_unique<ComponentTable>(
           name, std::move(schema), static_cast<int>(ws->components_.size()));
       for (size_t r = 0; r < nrows; ++r) {
         TupleId tid;
-        in >> word >> tid;
-        if (word != "ROW") return Status::IoError("expected ROW");
+        if (!(in >> word >> tid) || word != "ROW") {
+          return Status::IoError("expected ROW");
+        }
         Tuple values;
         values.reserve(ncols);
         for (size_t i = 0; i < ncols; ++i) {
@@ -148,9 +187,15 @@ class CacheSerializer {
       }
       ws->components_.push_back(std::move(comp));
     }
+    return Status::Ok();
+  }
+
+  static Status ParseRelationshipsBody(std::istream& in, Workspace* ws) {
+    std::string word;
     size_t n_rels;
-    in >> word >> n_rels;
-    if (word != "RELATIONSHIPS") return Status::IoError("expected RELATIONSHIPS");
+    if (!(in >> word >> n_rels) || word != "RELATIONSHIPS") {
+      return Status::IoError("expected RELATIONSHIPS");
+    }
     struct PendingRel {
       std::string name;
       std::vector<std::string> partners;
@@ -160,19 +205,27 @@ class CacheSerializer {
     for (size_t r = 0; r < n_rels; ++r) {
       PendingRel p;
       size_t n_partners, n_conns;
-      in >> word >> p.name >> n_partners >> n_conns;
-      if (word != "RELATIONSHIP") return Status::IoError("expected RELATIONSHIP");
+      if (!(in >> word >> p.name >> n_partners >> n_conns) ||
+          word != "RELATIONSHIP") {
+        return Status::IoError("expected RELATIONSHIP");
+      }
       for (size_t i = 0; i < n_partners; ++i) {
         std::string partner;
-        in >> word >> partner;
-        if (word != "PARTNER") return Status::IoError("expected PARTNER");
+        if (!(in >> word >> partner) || word != "PARTNER") {
+          return Status::IoError("expected PARTNER");
+        }
         p.partners.push_back(std::move(partner));
       }
       for (size_t i = 0; i < n_conns; ++i) {
-        in >> word;
-        if (word != "CONN") return Status::IoError("expected CONN");
+        if (!(in >> word) || word != "CONN") {
+          return Status::IoError("expected CONN");
+        }
         std::vector<TupleId> tids(n_partners);
-        for (TupleId& t : tids) in >> t;
+        for (TupleId& t : tids) {
+          if (!(in >> t)) {
+            return Status::IoError("truncated CONN tuple ids");
+          }
+        }
         p.conns.push_back(std::move(tids));
       }
       pending.push_back(std::move(p));
@@ -189,12 +242,47 @@ class CacheSerializer {
                                                 std::move(tids), false));
       }
     }
+    return Status::Ok();
+  }
+
+  static Result<std::unique_ptr<Workspace>> Load(
+      std::istream& in, const WorkspaceOptions& options) {
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::IoError("empty cache file");
+    }
+    std::unique_ptr<Workspace> ws(new Workspace(options));
+    if (line == kMagicV1) {
+      XNFDB_RETURN_IF_ERROR(ParseComponentsBody(in, ws.get()));
+      XNFDB_RETURN_IF_ERROR(ParseRelationshipsBody(in, ws.get()));
+      return ws;
+    }
+    if (line != kMagicV2) {
+      return Status::IoError("bad cache file magic");
+    }
+    XNFDB_ASSIGN_OR_RETURN(std::vector<FileSection> sections,
+                           ReadSectionedFile(in));
+    if (sections.size() != 2 || sections[0].name != "COMPONENTS" ||
+        sections[1].name != "RELATIONSHIPS") {
+      return Status::IoError("cache file has unexpected sections");
+    }
+    std::istringstream components_in(sections[0].payload);
+    XNFDB_RETURN_IF_ERROR(ParseComponentsBody(components_in, ws.get()));
+    if (ws->components_.size() != sections[0].records) {
+      return Status::IoError("COMPONENTS record count mismatch");
+    }
+    std::istringstream rels_in(sections[1].payload);
+    XNFDB_RETURN_IF_ERROR(ParseRelationshipsBody(rels_in, ws.get()));
+    if (ws->relationships_.size() != sections[1].records) {
+      return Status::IoError("RELATIONSHIPS record count mismatch");
+    }
     return ws;
   }
 };
 
-Status SaveWorkspace(const Workspace& workspace, std::ostream& out) {
-  return CacheSerializer::Save(workspace, out);
+Status SaveWorkspace(const Workspace& workspace, std::ostream& out,
+                     int format_version) {
+  return CacheSerializer::Save(workspace, out, format_version);
 }
 
 Result<std::unique_ptr<Workspace>> LoadWorkspace(
@@ -203,16 +291,19 @@ Result<std::unique_ptr<Workspace>> LoadWorkspace(
 }
 
 Status SaveWorkspaceToFile(const Workspace& workspace,
-                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return SaveWorkspace(workspace, out);
+                           const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::ostringstream out;
+  XNFDB_RETURN_IF_ERROR(SaveWorkspace(workspace, out));
+  return AtomicallyWriteFile(env, path, out.str());
 }
 
 Result<std::unique_ptr<Workspace>> LoadWorkspaceFromFile(
-    const std::string& path, const WorkspaceOptions& options) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+    const std::string& path, const WorkspaceOptions& options, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::string contents;
+  XNFDB_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  std::istringstream in(contents);
   return LoadWorkspace(in, options);
 }
 

@@ -3,8 +3,13 @@
 // later, thereby protecting the cache from client machine's failure").
 //
 // The format is a line-oriented text format with length-prefixed strings,
-// versioned for forward compatibility. Pending (not written back) changes
-// are not serializable: save after WriteBack.
+// versioned for forward compatibility. Version 2 ("XNFCACHE 2") wraps the
+// body in CRC32-carrying sections with a whole-file footer (see
+// common/file_format.h), so corrupted or truncated caches are rejected
+// with kIoError; version-1 files still load. Pending (not written back)
+// changes are not serializable: save after WriteBack. File-level helpers
+// route through an `Env` and replace the destination atomically, so an
+// interrupted save leaves the previous cache intact.
 
 #ifndef XNFDB_CACHE_SERIALIZE_H_
 #define XNFDB_CACHE_SERIALIZE_H_
@@ -14,18 +19,26 @@
 #include <string>
 
 #include "cache/workspace.h"
+#include "common/env.h"
 #include "common/status.h"
 
 namespace xnfdb {
 
-Status SaveWorkspace(const Workspace& workspace, std::ostream& out);
+// The version new cache files are written with; 1 remains writable for
+// compatibility testing.
+inline constexpr int kCacheFormatVersion = 2;
+
+Status SaveWorkspace(const Workspace& workspace, std::ostream& out,
+                     int format_version = kCacheFormatVersion);
 Result<std::unique_ptr<Workspace>> LoadWorkspace(
     std::istream& in, const WorkspaceOptions& options = {});
 
+// Atomic replace of `path` via `env` (Env::Default() when null).
 Status SaveWorkspaceToFile(const Workspace& workspace,
-                           const std::string& path);
+                           const std::string& path, Env* env = nullptr);
 Result<std::unique_ptr<Workspace>> LoadWorkspaceFromFile(
-    const std::string& path, const WorkspaceOptions& options = {});
+    const std::string& path, const WorkspaceOptions& options = {},
+    Env* env = nullptr);
 
 }  // namespace xnfdb
 

@@ -1,7 +1,12 @@
 #include "cache/writeback.h"
 
+#include <chrono>
+#include <functional>
 #include <set>
+#include <sstream>
+#include <thread>
 
+#include "common/crc32.h"
 #include "common/str_util.h"
 
 namespace xnfdb {
@@ -310,12 +315,10 @@ Result<RelationshipPlan> WriteBackPlanner::AnalyzeRelationship(
   return plan;
 }
 
-Result<std::vector<std::string>> WriteBackPlanner::Apply(
+Result<std::vector<std::string>> WriteBackPlanner::Plan(
     Workspace* workspace) {
   std::vector<std::string> statements;
   auto run = [&](const std::string& sql) -> Status {
-    Result<Database::Outcome> r = db_->Execute(sql);
-    if (!r.ok()) return r.status();
     statements.push_back(sql);
     return Status::Ok();
   };
@@ -466,7 +469,140 @@ Result<std::vector<std::string>> WriteBackPlanner::Apply(
     }
   }
 
+  return statements;
+}
+
+namespace {
+
+constexpr char kJournalMagic[] = "XNFJOURNAL 1";
+
+// Runs `op`, retrying transient kIoError failures up to `max_retries` extra
+// times with exponential backoff. Other error codes are not retried.
+Status RetryTransient(const WriteBackOptions& options,
+                      const std::function<Status()>& op) {
+  Status status = op();
+  int backoff_ms = options.backoff_initial_ms;
+  for (int attempt = 0;
+       attempt < options.max_retries && !status.ok() &&
+       status.code() == StatusCode::kIoError;
+       ++attempt) {
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    backoff_ms *= 2;
+    status = op();
+  }
+  return status;
+}
+
+// Journal file: magic, statement count + payload CRC, then one
+// length-prefixed statement per line.
+std::string RenderJournal(const std::vector<std::string>& statements) {
+  std::ostringstream payload;
+  for (const std::string& sql : statements) {
+    payload << sql.size() << " " << sql << "\n";
+  }
+  std::ostringstream out;
+  out << kJournalMagic << "\n"
+      << "STATEMENTS " << statements.size() << " "
+      << Crc32Hex(Crc32(payload.str())) << "\n"
+      << payload.str() << "END\n";
+  return out.str();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> LoadWriteBackJournal(const std::string& path,
+                                                      Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::string contents;
+  XNFDB_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  std::istringstream in(contents);
+  std::string line;
+  if (!std::getline(in, line) || line != kJournalMagic) {
+    return Status::IoError("bad write-back journal magic");
+  }
+  std::string word, crc_hex;
+  size_t count;
+  if (!(in >> word >> count >> crc_hex) || word != "STATEMENTS") {
+    return Status::IoError("malformed journal header");
+  }
+  in.get();  // newline after the header
+  std::istream::pos_type payload_start = in.tellg();
+  std::vector<std::string> statements;
+  for (size_t i = 0; i < count; ++i) {
+    size_t len;
+    if (!(in >> len)) return Status::IoError("truncated journal");
+    in.get();  // the separating space
+    int64_t remaining = StreamRemainingBytes(in);
+    if (remaining >= 0 && static_cast<int64_t>(len) > remaining) {
+      return Status::IoError("journal statement length " +
+                             std::to_string(len) + " exceeds file size");
+    }
+    std::string sql(len, '\0');
+    in.read(sql.data(), static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in.gcount()) != len) {
+      return Status::IoError("truncated journal statement");
+    }
+    if (in.get() != '\n') {
+      return Status::IoError("malformed journal statement framing");
+    }
+    statements.push_back(std::move(sql));
+  }
+  std::istream::pos_type payload_end = in.tellg();
+  // eof() after a successful getline means the trailing newline is missing.
+  if (!std::getline(in, line) || line != "END" || in.eof()) {
+    return Status::IoError("journal missing END terminator");
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::IoError("trailing data after journal END terminator");
+  }
+  std::string_view payload(contents.data() + payload_start,
+                           static_cast<size_t>(payload_end - payload_start));
+  uint32_t crc = Crc32(payload);
+  if (Crc32Hex(crc) != crc_hex) {
+    return Status::IoError("journal CRC mismatch");
+  }
+  return statements;
+}
+
+Result<std::vector<std::string>> WriteBackPlanner::Apply(
+    Workspace* workspace) {
+  XNFDB_ASSIGN_OR_RETURN(std::vector<std::string> statements,
+                         Plan(workspace));
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+
+  // 1. Journal the batch before touching the server, so a failure at any
+  //    later point leaves a durable record of the intended statements
+  //    alongside the still-pending workspace marks.
+  if (!options_.journal_path.empty()) {
+    const std::string journal = RenderJournal(statements);
+    XNFDB_RETURN_IF_ERROR(RetryTransient(options_, [&] {
+      return AtomicallyWriteFile(env, options_.journal_path, journal);
+    }));
+  }
+
+  // 2. Execute, absorbing transient server failures with bounded retry.
+  for (const std::string& sql : statements) {
+    XNFDB_RETURN_IF_ERROR(RetryTransient(options_, [&]() -> Status {
+      Result<Database::Outcome> r = db_->Execute(sql);
+      return r.ok() ? Status::Ok() : r.status();
+    }));
+  }
+
+  // 3. Commit locally, then retire the journal. Removal failure leaves a
+  //    stale journal of already-applied statements behind; surface it
+  //    (marks are already cleared, so a retry will not double-apply).
   workspace->ClearPendingChanges();
+  if (!options_.journal_path.empty()) {
+    Status removed = RetryTransient(
+        options_, [&] { return env->RemoveFile(options_.journal_path); });
+    if (!removed.ok()) {
+      return Status::IoError(
+          "write-back applied, but stale journal could not be removed: " +
+          removed.message());
+    }
+  }
   return statements;
 }
 

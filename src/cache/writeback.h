@@ -22,9 +22,26 @@
 
 #include "api/database.h"
 #include "cache/workspace.h"
+#include "common/env.h"
 #include "parser/ast.h"
 
 namespace xnfdb {
+
+// Durability settings for applying pending changes. Write-back is a batch
+// of generated SQL statements; with a journal configured, the batch is
+// recorded on disk (CRC-protected, atomic) *before* any statement runs and
+// removed after all of them succeeded — so a crash or I/O failure
+// mid-write-back leaves both the workspace's pending marks and the planned
+// statement list intact for recovery. Transient kIoError failures (journal
+// I/O and statement execution alike) are retried with exponential backoff.
+struct WriteBackOptions {
+  // When non-empty, journal the planned statements to this file before
+  // executing, and remove it once all statements have been applied.
+  std::string journal_path;
+  Env* env = nullptr;  // file I/O environment; Env::Default() when null
+  int max_retries = 3;          // extra attempts after a transient kIoError
+  int backoff_initial_ms = 1;   // first retry delay, doubled per retry
+};
 
 // Updatability analysis result for one component table.
 struct ComponentPlan {
@@ -68,8 +85,9 @@ struct RelationshipPlan {
 class WriteBackPlanner {
  public:
   // `definition` must outlive the planner.
-  WriteBackPlanner(Database* db, const ast::XnfQuery* definition)
-      : db_(db), definition_(definition) {}
+  WriteBackPlanner(Database* db, const ast::XnfQuery* definition,
+                   WriteBackOptions options = {})
+      : db_(db), definition_(definition), options_(std::move(options)) {}
 
   // Analysis for one component/relationship of the cached workspace
   // (the workspace supplies the projected schemas).
@@ -77,9 +95,16 @@ class WriteBackPlanner {
   Result<RelationshipPlan> AnalyzeRelationship(const Relationship& rel,
                                                Workspace* workspace);
 
-  // Applies all pending changes of `workspace`: inserts, updates, connects,
-  // disconnects, deletes — in that order. On success the workspace's
-  // pending marks are cleared. Returns the executed statements.
+  // Generates the SQL statements that would apply all pending changes of
+  // `workspace` — inserts, updates, connects, disconnects, deletes, in that
+  // order — without executing anything. Analysis errors (non-updatable
+  // components/relationships) surface here, before any server state
+  // changes.
+  Result<std::vector<std::string>> Plan(Workspace* workspace);
+
+  // Plans, journals (when configured), then executes all pending changes.
+  // On success the workspace's pending marks are cleared and the journal
+  // removed. Returns the executed statements.
   Result<std::vector<std::string>> Apply(Workspace* workspace);
 
  private:
@@ -87,7 +112,14 @@ class WriteBackPlanner {
 
   Database* db_;
   const ast::XnfQuery* definition_;
+  WriteBackOptions options_;
 };
+
+// Reads back a write-back journal (for recovery after a failed or
+// interrupted Apply): verifies magic, CRC and statement framing, and
+// returns the planned statements. `env` defaults to Env::Default().
+Result<std::vector<std::string>> LoadWriteBackJournal(const std::string& path,
+                                                      Env* env = nullptr);
 
 // Renders a Value as a SQL literal with proper string escaping.
 std::string SqlLiteral(const Value& v);

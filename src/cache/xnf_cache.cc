@@ -67,8 +67,12 @@ Result<CachedRow*> XNFCache::Insert(const std::string& component,
   return workspace_->InsertRow(component, std::move(values));
 }
 
-Result<std::vector<std::string>> XNFCache::WriteBack() {
-  WriteBackPlanner planner(db_, definition_.get());
+Result<std::vector<std::string>> XNFCache::WriteBack(
+    WriteBackOptions options) {
+  if (options.env == nullptr) {
+    options.env = options_.env != nullptr ? options_.env : db_->env();
+  }
+  WriteBackPlanner planner(db_, definition_.get(), std::move(options));
   return planner.Apply(workspace_.get());
 }
 
@@ -86,7 +90,8 @@ Status XNFCache::Refresh() {
 }
 
 Status XNFCache::SaveTo(const std::string& path) {
-  return SaveWorkspaceToFile(*workspace_, path);
+  Env* env = options_.env != nullptr ? options_.env : db_->env();
+  return SaveWorkspaceToFile(*workspace_, path, env);
 }
 
 Result<std::unique_ptr<XNFCache>> XNFCache::LoadFrom(Database* db,
@@ -95,8 +100,10 @@ Result<std::unique_ptr<XNFCache>> XNFCache::LoadFrom(Database* db,
                                                      const Options& options) {
   XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::XnfQuery> definition,
                          ResolveQuery(db, query));
-  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<Workspace> workspace,
-                         LoadWorkspaceFromFile(path, options.workspace));
+  Env* env = options.env != nullptr ? options.env : db->env();
+  XNFDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<Workspace> workspace,
+      LoadWorkspaceFromFile(path, options.workspace, env));
   return std::unique_ptr<XNFCache>(new XNFCache(
       db, std::move(definition), std::move(workspace), options));
 }

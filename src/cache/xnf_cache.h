@@ -16,18 +16,26 @@
 #include "api/database.h"
 #include "cache/cursor.h"
 #include "cache/workspace.h"
+#include "cache/writeback.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "parser/ast.h"
 
 namespace xnfdb {
 
+// Defined outside XNFCache so its default member initializers are complete
+// before the class body's `= {}` default arguments use them.
+struct XNFCacheOptions {
+  WorkspaceOptions workspace;
+  CompileOptions compile;
+  ExecOptions exec;
+  // File I/O environment for SaveTo/LoadFrom; the database's env when null.
+  Env* env = nullptr;
+};
+
 class XNFCache {
  public:
-  struct Options {
-    WorkspaceOptions workspace;
-    CompileOptions compile;
-    ExecOptions exec;
-  };
+  using Options = XNFCacheOptions;
 
   // Evaluates `query` — an OUT OF query or the name of a stored XNF view —
   // against `db` and loads the result into a fresh cache. `db` must outlive
@@ -63,8 +71,10 @@ class XNFCache {
   }
 
   // Transfers pending local changes back to the server (Sect. 3). Returns
-  // the SQL statements that were executed.
-  Result<std::vector<std::string>> WriteBack();
+  // the SQL statements that were executed. `options` selects the journal
+  // and retry behavior (see WriteBackOptions); its null env defaults to
+  // this cache's env.
+  Result<std::vector<std::string>> WriteBack(WriteBackOptions options = {});
 
   // Re-evaluates the view, replacing the workspace (after write-back).
   Status Refresh();

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace xnfdb {
+
+namespace {
+
+// Table-driven CRC-32, reflected, polynomial 0xEDB88320.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string Crc32Hex(uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[i] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace xnfdb

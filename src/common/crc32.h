@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) used to make every
+// persisted byte self-verifying: the v2 database/cache file formats carry a
+// CRC per section plus a whole-file footer, and the write-back journal is
+// checksummed the same way.
+
+#ifndef XNFDB_COMMON_CRC32_H_
+#define XNFDB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xnfdb {
+
+// CRC of `data`, optionally continuing from a previous CRC (pass the prior
+// return value as `seed` to checksum data arriving in chunks).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// Lower-case fixed-width hex rendering ("00000000".."ffffffff"), the form
+// stored in file headers and footers.
+std::string Crc32Hex(uint32_t crc);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_CRC32_H_

@@ -1,0 +1,149 @@
+#include "common/env.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+
+namespace xnfdb {
+
+namespace {
+
+Status ErrnoError(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IoError(path_ + " is closed");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoError("write " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::IoError(path_ + " is closed");
+    if (std::fflush(file_) != 0) return ErrnoError("flush " + path_);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    XNFDB_RETURN_IF_ERROR(Flush());
+    if (::fsync(fileno(file_)) != 0) return ErrnoError("fsync " + path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) return ErrnoError("close " + path_);
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return ErrnoError("open " + path + " for writing");
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return ErrnoError("open " + path);
+    out->clear();
+    char buffer[8192];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      out->append(buffer, n);
+    }
+    Status status =
+        std::ferror(f) ? ErrnoError("read " + path) : Status::Ok();
+    std::fclose(f);
+    return status;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename " + from + " -> " + to);
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return ErrnoError("remove " + path);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status AtomicallyWriteFile(Env* env, const std::string& path,
+                           std::string_view contents) {
+  // Unique temp name: concurrent saves to the same path must not truncate
+  // each other's in-flight temp file (whichever rename lands last wins,
+  // but the destination is always a complete file).
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  auto cleanup = [&](Status status) {
+    env->RemoveFile(tmp);  // best effort; the error already dominates
+    return status;
+  };
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<WritableFile> out = std::move(file).value();
+  Status status = out->Append(contents);
+  if (status.ok()) status = out->Sync();
+  if (status.ok()) status = out->Close();
+  if (!status.ok()) return cleanup(status);
+  status = env->RenameFile(tmp, path);
+  if (!status.ok()) return cleanup(status);
+  return Status::Ok();
+}
+
+int64_t StreamRemainingBytes(std::istream& in) {
+  std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !in.good()) {
+    in.clear();
+    in.seekg(pos);
+    return -1;
+  }
+  return static_cast<int64_t>(end - pos);
+}
+
+}  // namespace xnfdb

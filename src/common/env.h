@@ -1,0 +1,74 @@
+// The file-system boundary of xnfdb (LevelDB-style). All durable I/O —
+// catalog persistence, CO-cache save/restore, the write-back journal — goes
+// through an `Env` so that tests can substitute a `FaultInjectionEnv`
+// (common/fault_env.h) and exercise every failure point: short writes, torn
+// writes, fsync failures, read corruption.
+//
+// `PosixEnv` (the `Env::Default()` singleton) is the real thing: buffered
+// stdio writes, fsync-backed `Sync`, POSIX rename. `AtomicallyWriteFile`
+// builds the crash-safe whole-file replace all savers use: write to a
+// temporary sibling, flush, sync, close, then atomically rename over the
+// destination — at no point is the previous file version lost.
+
+#ifndef XNFDB_COMMON_ENV_H_
+#define XNFDB_COMMON_ENV_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xnfdb {
+
+// A file being written sequentially. Writes are buffered until `Flush`;
+// `Sync` additionally forces the data to stable storage. `Close` flushes
+// and releases the descriptor (it is also called by the destructor, but
+// only an explicit `Close` reports errors).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // The process-wide POSIX environment.
+  static Env* Default();
+
+  // Creates (or truncates) `path` for sequential writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  // Reads the entire file into `*out` (replacing its contents).
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+// Crash-safe whole-file replace: writes `contents` to `path + ".tmp"`,
+// flushes, syncs and closes it, then renames it over `path`. On any failure
+// the previous version of `path` is untouched and the temporary is removed
+// (best effort).
+Status AtomicallyWriteFile(Env* env, const std::string& path,
+                           std::string_view contents);
+
+// Bytes between the stream's current read position and its end, or -1 when
+// the stream is not seekable. Used to reject file-supplied lengths that
+// exceed what the file can possibly hold, before allocating.
+int64_t StreamRemainingBytes(std::istream& in);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_ENV_H_

@@ -1,0 +1,102 @@
+#include "common/fault_env.h"
+
+namespace xnfdb {
+
+// Wraps a base WritableFile; consults the owning env's fault plan on every
+// operation so a plan change mid-save (or a byte budget spanning several
+// files) behaves like a real device going bad.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    ++env_->counters_.appends;
+    if (env_->append_budget_ >= 0 &&
+        static_cast<int64_t>(data.size()) > env_->append_budget_) {
+      ++env_->counters_.injected_errors;
+      if (env_->torn_writes_ && env_->append_budget_ > 0) {
+        std::string_view prefix =
+            data.substr(0, static_cast<size_t>(env_->append_budget_));
+        Status s = base_->Append(prefix);
+        if (s.ok()) env_->counters_.bytes_appended += prefix.size();
+      }
+      env_->append_budget_ = 0;
+      return Status::IoError("injected write error");
+    }
+    if (env_->append_budget_ >= 0) {
+      env_->append_budget_ -= static_cast<int64_t>(data.size());
+    }
+    XNFDB_RETURN_IF_ERROR(base_->Append(data));
+    env_->counters_.bytes_appended += data.size();
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    ++env_->counters_.flushes;
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    ++env_->counters_.syncs;
+    if (env_->failing_syncs_ > 0) {
+      --env_->failing_syncs_;
+      ++env_->counters_.injected_errors;
+      return Status::IoError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    ++env_->counters_.closes;
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  ++counters_.writable_files_opened;
+  XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(this, std::move(base)));
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& path,
+                                           std::string* out) {
+  ++counters_.reads;
+  XNFDB_RETURN_IF_ERROR(base_->ReadFileToString(path, out));
+  if (corrupt_offset_ >= 0 &&
+      corrupt_offset_ < static_cast<int64_t>(out->size())) {
+    (*out)[static_cast<size_t>(corrupt_offset_)] ^=
+        static_cast<char>(corrupt_mask_);
+    ++counters_.injected_errors;
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  ++counters_.renames;
+  if (failing_renames_ > 0) {
+    --failing_renames_;
+    ++counters_.injected_errors;
+    return Status::IoError("injected rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  ++counters_.removes;
+  return base_->RemoveFile(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+}  // namespace xnfdb

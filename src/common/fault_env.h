@@ -1,0 +1,97 @@
+// An `Env` decorator that injects I/O failures for durability testing — the
+// standing infrastructure behind the crash-safety guarantees of the v2 file
+// formats and the write-back journal.
+//
+// Fault kinds (composable; each cleared with `ClearFaults`):
+//  * short/failed writes — every `Append` fails once `n` total bytes have
+//    been written through this env;
+//  * torn writes — as above, but the bytes up to the limit still reach the
+//    underlying file, modelling a crash that persists a prefix;
+//  * fsync failures — the next `n` `Sync` calls fail;
+//  * rename failures — the next `n` `RenameFile` calls fail (the commit
+//    point of an atomic replace);
+//  * read corruption — a byte at a chosen offset is flipped in everything
+//    `ReadFileToString` returns.
+//
+// Per-operation counters record how many calls and bytes flowed through,
+// so tests can assert e.g. "exactly one sync before the rename".
+
+#ifndef XNFDB_COMMON_FAULT_ENV_H_
+#define XNFDB_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+
+namespace xnfdb {
+
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  struct Counters {
+    int64_t writable_files_opened = 0;
+    int64_t appends = 0;
+    int64_t bytes_appended = 0;  // bytes that reached the underlying file
+    int64_t flushes = 0;
+    int64_t syncs = 0;
+    int64_t closes = 0;
+    int64_t reads = 0;
+    int64_t renames = 0;
+    int64_t removes = 0;
+    int64_t injected_errors = 0;  // faults actually fired
+  };
+
+  // --- fault plan ---------------------------------------------------------
+  // Appends fail with kIoError once `n` total bytes have been appended
+  // through this env (counting from now; n < 0 disables). With `torn`,
+  // the prefix up to the budget is still written before failing.
+  void FailAppendsAfterBytes(int64_t n, bool torn = false) {
+    append_budget_ = n;
+    torn_writes_ = torn;
+  }
+  void FailNextSyncs(int n) { failing_syncs_ = n; }
+  void FailNextRenames(int n) { failing_renames_ = n; }
+  // XORs `mask` (must be nonzero to corrupt) into the byte at `offset` of
+  // every subsequent ReadFileToString result that is long enough.
+  void CorruptReadAt(int64_t offset, uint8_t mask = 0x40) {
+    corrupt_offset_ = offset;
+    corrupt_mask_ = mask;
+  }
+  void ClearFaults() {
+    append_budget_ = -1;
+    torn_writes_ = false;
+    failing_syncs_ = 0;
+    failing_renames_ = 0;
+    corrupt_offset_ = -1;
+  }
+
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters(); }
+
+  // --- Env ----------------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  friend class FaultyWritableFile;
+
+  Env* base_;
+  Counters counters_;
+  int64_t append_budget_ = -1;  // bytes until appends fail; <0 = unlimited
+  bool torn_writes_ = false;
+  int failing_syncs_ = 0;
+  int failing_renames_ = 0;
+  int64_t corrupt_offset_ = -1;
+  uint8_t corrupt_mask_ = 0x40;
+};
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_FAULT_ENV_H_

@@ -1,0 +1,118 @@
+#include "common/file_format.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/env.h"
+
+namespace xnfdb {
+
+namespace {
+
+Result<uint32_t> ParseCrcHex(const std::string& hex) {
+  if (hex.size() != 8) return Status::IoError("malformed CRC field");
+  uint32_t crc = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::IoError("malformed CRC field");
+    }
+    crc = (crc << 4) | static_cast<uint32_t>(digit);
+  }
+  return crc;
+}
+
+}  // namespace
+
+void WriteSectionedFile(std::ostream& out, const std::string& magic,
+                        const std::vector<FileSection>& sections) {
+  out << magic << "\n";
+  uint32_t body_crc = 0;
+  for (const FileSection& s : sections) {
+    std::ostringstream header;
+    header << "SECTION " << s.name << " " << s.records << " "
+           << s.payload.size() << " " << Crc32Hex(Crc32(s.payload)) << "\n";
+    body_crc = Crc32(header.str(), body_crc);
+    body_crc = Crc32(s.payload, body_crc);
+    out << header.str() << s.payload;
+  }
+  out << "FOOTER " << sections.size() << " " << Crc32Hex(body_crc) << "\n"
+      << "END\n";
+}
+
+Result<std::vector<FileSection>> ReadSectionedFile(std::istream& in) {
+  std::vector<FileSection> sections;
+  uint32_t body_crc = 0;
+  std::string line;
+  while (true) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("truncated file: missing footer");
+    }
+    std::istringstream header(line);
+    std::string keyword;
+    if (!(header >> keyword)) {
+      return Status::IoError("malformed section header");
+    }
+    if (keyword == "FOOTER") {
+      size_t count;
+      std::string crc_hex;
+      if (!(header >> count >> crc_hex)) {
+        return Status::IoError("malformed footer");
+      }
+      if (count != sections.size()) {
+        return Status::IoError("footer section count mismatch");
+      }
+      XNFDB_ASSIGN_OR_RETURN(uint32_t expected, ParseCrcHex(crc_hex));
+      if (expected != body_crc) {
+        return Status::IoError("file body CRC mismatch");
+      }
+      // eof() after a successful getline means the newline was missing —
+      // the terminator line itself was truncated.
+      if (!std::getline(in, line) || line != "END" || in.eof()) {
+        return Status::IoError("missing END terminator");
+      }
+      if (in.peek() != std::char_traits<char>::eof()) {
+        return Status::IoError("trailing data after END terminator");
+      }
+      return sections;
+    }
+    if (keyword != "SECTION") {
+      return Status::IoError("expected SECTION or FOOTER, got '" + keyword +
+                             "'");
+    }
+    FileSection section;
+    size_t bytes;
+    std::string crc_hex;
+    if (!(header >> section.name >> section.records >> bytes >> crc_hex)) {
+      return Status::IoError("malformed section header");
+    }
+    // Reject hostile/corrupt sizes before allocating.
+    int64_t remaining = StreamRemainingBytes(in);
+    if (remaining >= 0 && static_cast<int64_t>(bytes) > remaining) {
+      return Status::IoError("section " + section.name + " claims " +
+                             std::to_string(bytes) +
+                             " bytes but only " + std::to_string(remaining) +
+                             " remain in the file");
+    }
+    section.payload.resize(bytes);
+    in.read(section.payload.data(), static_cast<std::streamsize>(bytes));
+    if (static_cast<size_t>(in.gcount()) != bytes) {
+      return Status::IoError("section " + section.name + " truncated");
+    }
+    XNFDB_ASSIGN_OR_RETURN(uint32_t expected, ParseCrcHex(crc_hex));
+    if (expected != Crc32(section.payload)) {
+      return Status::IoError("section " + section.name + " CRC mismatch");
+    }
+    body_crc = Crc32(line, body_crc);
+    body_crc = Crc32("\n", body_crc);
+    body_crc = Crc32(section.payload, body_crc);
+    sections.push_back(std::move(section));
+  }
+}
+
+}  // namespace xnfdb

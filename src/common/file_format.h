@@ -1,0 +1,45 @@
+// Shared framing of the v2 on-disk formats (database catalog, CO cache).
+//
+// A sectioned file is line-oriented text:
+//
+//   <magic line>                       e.g. "XNFDB 2"
+//   SECTION <name> <records> <bytes> <crc32>
+//   <exactly `bytes` bytes of payload>
+//   ... more sections ...
+//   FOOTER <section count> <crc32 over all section headers + payloads>
+//   END
+//
+// Every payload byte is covered by its section CRC; every header byte by
+// the footer CRC; the magic, FOOTER and END lines are matched exactly — so
+// any truncation or bit flip anywhere in the file is detected and rejected
+// with kIoError before the payload is interpreted.
+
+#ifndef XNFDB_COMMON_FILE_FORMAT_H_
+#define XNFDB_COMMON_FILE_FORMAT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xnfdb {
+
+struct FileSection {
+  std::string name;
+  size_t records = 0;  // count of top-level records in the payload
+  std::string payload;
+};
+
+// Writes magic line, sections, footer and END terminator.
+void WriteSectionedFile(std::ostream& out, const std::string& magic,
+                        const std::vector<FileSection>& sections);
+
+// Reads and verifies the body of a sectioned file; the magic line must
+// already have been consumed from `in`. Checks each section's size and CRC,
+// the footer's section count and whole-body CRC, and the END terminator.
+Result<std::vector<FileSection>> ReadSectionedFile(std::istream& in);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_COMMON_FILE_FORMAT_H_

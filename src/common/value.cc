@@ -4,6 +4,8 @@
 #include <functional>
 #include <sstream>
 
+#include "common/env.h"
+
 namespace xnfdb {
 
 const char* DataTypeName(DataType type) {
@@ -260,6 +262,11 @@ Result<Value> ReadValueText(std::istream& in) {
     size_t len;
     if (!(in >> len)) return Status::IoError("bad string length");
     in.get();  // the separating space
+    int64_t remaining = StreamRemainingBytes(in);
+    if (remaining >= 0 && static_cast<int64_t>(len) > remaining) {
+      return Status::IoError("string length " + std::to_string(len) +
+                             " exceeds remaining input");
+    }
     std::string s(len, '\0');
     in.read(s.data(), static_cast<std::streamsize>(len));
     if (static_cast<size_t>(in.gcount()) != len) {

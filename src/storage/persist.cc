@@ -3,16 +3,20 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_format.h"
+
 namespace xnfdb {
 
 namespace {
 
-constexpr char kMagic[] = "XNFDB 1";
+constexpr char kMagicV1[] = "XNFDB 1";
+constexpr char kMagicV2[] = "XNFDB 2";
 
-}  // namespace
+// --- writers ---------------------------------------------------------------
+// The payload text is identical across format versions; v1 concatenates the
+// payloads directly, v2 wraps them in CRC-carrying sections.
 
-Status SaveCatalog(const Catalog& catalog, std::ostream& out) {
-  out << kMagic << "\n";
+Status WriteTablesPayload(const Catalog& catalog, std::ostream& out) {
   std::vector<std::string> names = catalog.TableNames();
   out << "TABLES " << names.size() << "\n";
   for (const std::string& name : names) {
@@ -47,6 +51,10 @@ Status SaveCatalog(const Catalog& catalog, std::ostream& out) {
           << fk.ref_column << "\n";
     }
   }
+  return Status::Ok();
+}
+
+void WriteViewsPayload(const Catalog& catalog, std::ostream& out) {
   std::vector<const ViewDef*> views = catalog.Views();
   out << "VIEWS " << views.size() << "\n";
   for (const ViewDef* view : views) {
@@ -54,27 +62,16 @@ Status SaveCatalog(const Catalog& catalog, std::ostream& out) {
         << view->definition.size() << "\n"
         << view->definition << "\n";
   }
-  out << "END\n";
-  return out.good() ? Status::Ok()
-                    : Status::IoError("write to database stream failed");
 }
 
-Status LoadCatalog(std::istream& in, Catalog* catalog) {
-  if (!catalog->TableNames().empty() || !catalog->Views().empty()) {
-    return Status::InvalidArgument("LoadCatalog requires an empty catalog");
-  }
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    return Status::IoError("bad database file magic");
-  }
-  std::string word;
+// --- readers ---------------------------------------------------------------
+
+Status ParseTablesBody(std::istream& in, Catalog* catalog) {
+  std::string word, line;
   size_t ntables;
   if (!(in >> word >> ntables) || word != "TABLES") {
     return Status::IoError("expected TABLES");
   }
-  struct PendingFk {
-    ForeignKey fk;
-  };
   std::vector<ForeignKey> pending_fks;  // declared after all tables exist
   std::vector<std::pair<std::string, std::string>> pending_pks;
   for (size_t ti = 0; ti < ntables; ++ti) {
@@ -90,6 +87,11 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
       if (!(in >> word >> col_name >> type) || word != "COL") {
         return Status::IoError("expected COL");
       }
+      if (type < 0 || type > static_cast<int>(DataType::kBool)) {
+        return Status::IoError("column " + col_name +
+                               " has invalid type tag " +
+                               std::to_string(type));
+      }
       schema.AddColumn(Column{col_name, static_cast<DataType>(type)});
     }
     XNFDB_ASSIGN_OR_RETURN(Table * table,
@@ -97,6 +99,10 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
     int pk;
     if (!(in >> word >> pk) || word != "PK") {
       return Status::IoError("expected PK");
+    }
+    if (pk >= static_cast<int>(ncols)) {
+      return Status::IoError("primary-key column " + std::to_string(pk) +
+                             " out of range for table " + name);
     }
     if (pk >= 0) {
       pending_pks.emplace_back(name, schema.column(pk).name);
@@ -108,6 +114,10 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
     std::istringstream index_line(line);
     int index_col;
     while (index_line >> index_col) {
+      if (index_col < 0 || index_col >= static_cast<int>(ncols)) {
+        return Status::IoError("index column " + std::to_string(index_col) +
+                               " out of range for table " + name);
+      }
       XNFDB_RETURN_IF_ERROR(
           table->CreateIndex(schema.column(index_col).name));
     }
@@ -144,6 +154,11 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
   for (ForeignKey& fk : pending_fks) {
     XNFDB_RETURN_IF_ERROR(catalog->DeclareForeignKey(std::move(fk)));
   }
+  return Status::Ok();
+}
+
+Status ParseViewsBody(std::istream& in, Catalog* catalog) {
+  std::string word;
   size_t nviews;
   if (!(in >> word >> nviews) || word != "VIEWS") {
     return Status::IoError("expected VIEWS");
@@ -157,6 +172,12 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
     }
     def.is_xnf = is_xnf != 0;
     in.get();  // the newline after the header
+    int64_t remaining = StreamRemainingBytes(in);
+    if (remaining >= 0 && static_cast<int64_t>(len) > remaining) {
+      return Status::IoError("view " + def.name + " claims " +
+                             std::to_string(len) +
+                             "-byte definition beyond end of file");
+    }
     def.definition.resize(len);
     in.read(def.definition.data(), static_cast<std::streamsize>(len));
     if (static_cast<size_t>(in.gcount()) != len) {
@@ -167,15 +188,80 @@ Status LoadCatalog(std::istream& in, Catalog* catalog) {
   return Status::Ok();
 }
 
-Status SaveCatalogToFile(const Catalog& catalog, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return SaveCatalog(catalog, out);
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& out,
+                   int format_version) {
+  std::ostringstream tables, views;
+  XNFDB_RETURN_IF_ERROR(WriteTablesPayload(catalog, tables));
+  WriteViewsPayload(catalog, views);
+  if (format_version == 1) {
+    out << kMagicV1 << "\n" << tables.str() << views.str() << "END\n";
+  } else if (format_version == kPersistFormatVersion) {
+    std::vector<FileSection> sections(2);
+    sections[0].name = "TABLES";
+    sections[0].records = catalog.TableNames().size();
+    sections[0].payload = tables.str();
+    sections[1].name = "VIEWS";
+    sections[1].records = catalog.Views().size();
+    sections[1].payload = views.str();
+    WriteSectionedFile(out, kMagicV2, sections);
+  } else {
+    return Status::InvalidArgument("unsupported database format version " +
+                                   std::to_string(format_version));
+  }
+  return out.good() ? Status::Ok()
+                    : Status::IoError("write to database stream failed");
 }
 
-Status LoadCatalogFromFile(const std::string& path, Catalog* catalog) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+Status LoadCatalog(std::istream& in, Catalog* catalog) {
+  if (!catalog->TableNames().empty() || !catalog->Views().empty()) {
+    return Status::InvalidArgument("LoadCatalog requires an empty catalog");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty database file");
+  }
+  if (line == kMagicV1) {
+    XNFDB_RETURN_IF_ERROR(ParseTablesBody(in, catalog));
+    return ParseViewsBody(in, catalog);
+  }
+  if (line != kMagicV2) {
+    return Status::IoError("bad database file magic");
+  }
+  XNFDB_ASSIGN_OR_RETURN(std::vector<FileSection> sections,
+                         ReadSectionedFile(in));
+  if (sections.size() != 2 || sections[0].name != "TABLES" ||
+      sections[1].name != "VIEWS") {
+    return Status::IoError("database file has unexpected sections");
+  }
+  std::istringstream tables_in(sections[0].payload);
+  XNFDB_RETURN_IF_ERROR(ParseTablesBody(tables_in, catalog));
+  if (catalog->TableNames().size() != sections[0].records) {
+    return Status::IoError("TABLES record count mismatch");
+  }
+  std::istringstream views_in(sections[1].payload);
+  XNFDB_RETURN_IF_ERROR(ParseViewsBody(views_in, catalog));
+  if (catalog->Views().size() != sections[1].records) {
+    return Status::IoError("VIEWS record count mismatch");
+  }
+  return Status::Ok();
+}
+
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path,
+                         Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::ostringstream out;
+  XNFDB_RETURN_IF_ERROR(SaveCatalog(catalog, out));
+  return AtomicallyWriteFile(env, path, out.str());
+}
+
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog,
+                           Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::string contents;
+  XNFDB_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  std::istringstream in(contents);
   return LoadCatalog(in, catalog);
 }
 

@@ -6,6 +6,15 @@
 // "totally unchanged" (Sect. 6); this module provides the minimal durable
 // substrate a standalone library needs (and what examples use to keep data
 // across runs). Single-user, whole-file granularity.
+//
+// Format version 2 ("XNFDB 2") makes every byte verifiable: the body is a
+// sequence of sections, each header carrying a record count, payload size
+// and CRC32, followed by a footer whose CRC covers the whole body, so any
+// truncation or bit flip is rejected with kIoError instead of loading as
+// garbage. Version-1 files still load. File-level helpers route through an
+// `Env` (common/env.h) and replace the destination atomically
+// (temp + sync + rename), so an interrupted save leaves the previous
+// database intact.
 
 #ifndef XNFDB_STORAGE_PERSIST_H_
 #define XNFDB_STORAGE_PERSIST_H_
@@ -13,17 +22,26 @@
 #include <iostream>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/catalog.h"
 
 namespace xnfdb {
 
-Status SaveCatalog(const Catalog& catalog, std::ostream& out);
-// Restores into `catalog`, which must be empty.
+// The version new files are written with. `format_version` may be pinned to
+// 1 to produce files for old readers (and to test v1 compatibility).
+inline constexpr int kPersistFormatVersion = 2;
+
+Status SaveCatalog(const Catalog& catalog, std::ostream& out,
+                   int format_version = kPersistFormatVersion);
+// Restores into `catalog`, which must be empty. Accepts v1 and v2 files.
 Status LoadCatalog(std::istream& in, Catalog* catalog);
 
-Status SaveCatalogToFile(const Catalog& catalog, const std::string& path);
-Status LoadCatalogFromFile(const std::string& path, Catalog* catalog);
+// Atomic replace of `path` via `env` (Env::Default() when null).
+Status SaveCatalogToFile(const Catalog& catalog, const std::string& path,
+                         Env* env = nullptr);
+Status LoadCatalogFromFile(const std::string& path, Catalog* catalog,
+                           Env* env = nullptr);
 
 }  // namespace xnfdb
 

@@ -1,0 +1,305 @@
+// Corruption-resilience and crash-safety tests of the v2 persistence
+// formats (acceptance criteria of the durability work):
+//
+//  * a valid database/cache file truncated at every line boundary (and at
+//    sampled mid-line offsets) must be rejected with a non-OK status —
+//    never crash, never load partial data silently;
+//  * a byte flipped anywhere in the file must be rejected (CRC sections +
+//    whole-body footer);
+//  * a save interrupted at any injected failure point (short write, torn
+//    write, fsync failure, rename failure) leaves the previous on-disk
+//    version loadable and intact — the atomic-replace property;
+//  * version-1 files written by the previous format still load.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "cache/serialize.h"
+#include "cache/xnf_cache.h"
+#include "common/fault_env.h"
+#include "storage/persist.h"
+#include "tests/paper_db.h"
+
+namespace xnfdb {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Builds the paper database plus stored views, the workload every test
+// here corrupts and reloads.
+void BuildDb(Database* db) {
+  ASSERT_TRUE(testing_util::LoadPaperDb(db).ok());
+  ASSERT_TRUE(db->Execute("CREATE VIEW DEPS AS " +
+                          std::string(testing_util::kDepsArcQuery))
+                  .ok());
+  ASSERT_TRUE(
+      db->Execute("CREATE VIEW ARCD AS SELECT * FROM DEPT WHERE LOC = 'ARC'")
+          .ok());
+}
+
+std::string SavedCatalog(Database* db, int version = kPersistFormatVersion) {
+  std::stringstream out;
+  EXPECT_TRUE(SaveCatalog(db->catalog(), out, version).ok());
+  return out.str();
+}
+
+Status TryLoadCatalog(const std::string& contents) {
+  std::istringstream in(contents);
+  Catalog catalog;
+  return LoadCatalog(in, &catalog);
+}
+
+std::string SavedCache(Database* db, int version = kCacheFormatVersion) {
+  auto cache =
+      XNFCache::Evaluate(db, testing_util::kDepsArcQuery).value();
+  std::stringstream out;
+  EXPECT_TRUE(SaveWorkspace(cache->workspace(), out, version).ok());
+  return out.str();
+}
+
+Status TryLoadCache(const std::string& contents) {
+  std::istringstream in(contents);
+  Result<std::unique_ptr<Workspace>> ws = LoadWorkspace(in);
+  return ws.ok() ? Status::Ok() : ws.status();
+}
+
+// Every prefix ending at a line boundary, plus every 17th mid-line offset,
+// must fail to load (the full file is excluded — it is valid).
+template <typename LoadFn>
+void ExpectAllTruncationsRejected(const std::string& contents, LoadFn load) {
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i + 1 < contents.size(); ++i) {
+    if (contents[i] == '\n') cuts.push_back(i + 1);  // keep the newline
+    if (i % 17 == 0) cuts.push_back(i);
+  }
+  cuts.push_back(0);
+  for (size_t cut : cuts) {
+    Status s = load(contents.substr(0, cut));
+    EXPECT_FALSE(s.ok()) << "truncation at byte " << cut
+                         << " loaded successfully";
+  }
+}
+
+// Every single-byte flip must fail to load. Three masks: 0x01 turns digits
+// into adjacent digits (counts/lengths drift), 0x40 flips letters/case,
+// 0x80 makes bytes non-ASCII.
+template <typename LoadFn>
+void ExpectAllByteFlipsRejected(const std::string& contents, LoadFn load) {
+  for (uint8_t mask : {0x01, 0x40, 0x80}) {
+    for (size_t i = 0; i < contents.size(); ++i) {
+      std::string flipped = contents;
+      flipped[i] ^= static_cast<char>(mask);
+      Status s = load(flipped);
+      EXPECT_FALSE(s.ok()) << "flip of byte " << i << " with mask "
+                           << static_cast<int>(mask)
+                           << " loaded successfully";
+    }
+  }
+}
+
+TEST(CorruptionTest, CatalogTruncationsRejected) {
+  Database db;
+  BuildDb(&db);
+  ExpectAllTruncationsRejected(SavedCatalog(&db), TryLoadCatalog);
+}
+
+TEST(CorruptionTest, CatalogByteFlipsRejected) {
+  Database db;
+  BuildDb(&db);
+  ExpectAllByteFlipsRejected(SavedCatalog(&db), TryLoadCatalog);
+}
+
+TEST(CorruptionTest, CacheTruncationsRejected) {
+  Database db;
+  BuildDb(&db);
+  ExpectAllTruncationsRejected(SavedCache(&db), TryLoadCache);
+}
+
+TEST(CorruptionTest, CacheByteFlipsRejected) {
+  Database db;
+  BuildDb(&db);
+  ExpectAllByteFlipsRejected(SavedCache(&db), TryLoadCache);
+}
+
+TEST(CorruptionTest, CorruptionIsIoError) {
+  Database db;
+  BuildDb(&db);
+  std::string good = SavedCatalog(&db);
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x40;
+  EXPECT_EQ(TryLoadCatalog(flipped).code(), StatusCode::kIoError);
+  std::string cache = SavedCache(&db);
+  flipped = cache;
+  flipped[cache.size() / 2] ^= 0x40;
+  EXPECT_EQ(TryLoadCache(flipped).code(), StatusCode::kIoError);
+}
+
+TEST(CorruptionTest, HostileLengthsRejectedWithoutAllocation) {
+  // A section/string/view-definition length far beyond the file size must
+  // be rejected up front, not fed to std::string(len, ...).
+  EXPECT_FALSE(TryLoadCatalog("XNFDB 2\n"
+                              "SECTION TABLES 1 123456789012 00000000\n"
+                              "TABLES 1\n")
+                   .ok());
+  EXPECT_FALSE(TryLoadCatalog("XNFDB 1\n"
+                              "TABLES 0\n"
+                              "VIEWS 1\n"
+                              "VIEW V 0 987654321987\nSELECT\n")
+                   .ok());
+  EXPECT_FALSE(TryLoadCache("XNFCACHE 1\n"
+                            "COMPONENTS 1\n"
+                            "COMPONENT M 1 1\n"
+                            "COL A 3\n"
+                            "ROW 0\n"
+                            "S 99999999999 x\n")
+                   .ok());
+}
+
+TEST(CorruptionTest, V1FilesStillLoad) {
+  Database db;
+  BuildDb(&db);
+
+  std::string v1 = SavedCatalog(&db, /*version=*/1);
+  ASSERT_EQ(v1.substr(0, 8), "XNFDB 1\n");
+  std::istringstream in(v1);
+  Database restored;
+  ASSERT_TRUE(LoadCatalog(in, &restored.catalog()).ok());
+  EXPECT_EQ(restored.catalog().TableNames(), db.catalog().TableNames());
+  EXPECT_TRUE(restored.catalog().HasView("DEPS"));
+  Result<QueryResult> co = restored.Query("DEPS");
+  ASSERT_TRUE(co.ok()) << co.status().ToString();
+
+  std::string v1_cache = SavedCache(&db, /*version=*/1);
+  ASSERT_EQ(v1_cache.substr(0, 11), "XNFCACHE 1\n");
+  std::istringstream cache_in(v1_cache);
+  Result<std::unique_ptr<Workspace>> ws = LoadWorkspace(cache_in);
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_EQ(ws.value()->component("XEMP").value()->size(), 3u);
+}
+
+// The atomic-replace property: for an exhaustive sweep of injected failure
+// points, an interrupted save leaves the previous on-disk database intact
+// and loadable.
+TEST(CorruptionTest, InterruptedCatalogSaveKeepsPreviousVersion) {
+  FaultInjectionEnv env;
+  Database db(&env);
+  BuildDb(&db);
+  std::string path = TestPath("corruption_atomic.db");
+  ASSERT_TRUE(db.SaveTo(path).ok());
+
+  // Grow the database so the next save writes different, longer content.
+  ASSERT_TRUE(db.Execute("INSERT INTO SKILLS VALUES (6000, 's6')").ok());
+  const size_t content_size = SavedCatalog(&db).size();
+
+  auto expect_previous_version_intact = [&](const std::string& context) {
+    Database restored;
+    Status s = restored.LoadFrom(path);
+    ASSERT_TRUE(s.ok()) << context << ": " << s.ToString();
+    // The old version has 5 skills (s6 was inserted after the good save).
+    Result<QueryResult> rows =
+        restored.Query("SELECT COUNT(*) FROM SKILLS");
+    ASSERT_TRUE(rows.ok()) << context;
+    EXPECT_EQ(rows.value().rows()[0][0].AsInt(), 5) << context;
+  };
+
+  // Short and torn writes at failure points across the whole file.
+  for (bool torn : {false, true}) {
+    for (size_t budget = 0; budget < content_size;
+         budget += 1 + content_size / 64) {
+      env.FailAppendsAfterBytes(static_cast<int64_t>(budget), torn);
+      EXPECT_FALSE(db.SaveTo(path).ok());
+      env.ClearFaults();
+      expect_previous_version_intact(
+          "append budget " + std::to_string(budget) +
+          (torn ? " torn" : " short"));
+    }
+  }
+
+  env.FailNextSyncs(1);
+  EXPECT_FALSE(db.SaveTo(path).ok());
+  env.ClearFaults();
+  expect_previous_version_intact("fsync failure");
+
+  env.FailNextRenames(1);
+  EXPECT_FALSE(db.SaveTo(path).ok());
+  env.ClearFaults();
+  expect_previous_version_intact("rename failure");
+
+  // No temp files may leak from the failed attempts.
+  int leftovers = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir())) {
+    if (entry.path().filename().string().find("corruption_atomic.db.tmp") !=
+        std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0);
+
+  // With faults cleared, the save commits the new version.
+  ASSERT_TRUE(db.SaveTo(path).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(path).ok());
+  Result<QueryResult> rows = restored.Query("SELECT COUNT(*) FROM SKILLS");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows()[0][0].AsInt(), 6);
+  env.RemoveFile(path);
+}
+
+TEST(CorruptionTest, InterruptedCacheSaveKeepsPreviousVersion) {
+  FaultInjectionEnv env;
+  Database db(&env);
+  BuildDb(&db);
+  XNFCache::Options options;
+  options.env = &env;
+  auto cache = XNFCache::Evaluate(&db, testing_util::kDepsArcQuery, options)
+                   .value();
+  std::string path = TestPath("corruption_atomic.xc");
+  ASSERT_TRUE(cache->SaveTo(path).ok());
+  const size_t content_size = SavedCache(&db).size();
+
+  for (bool torn : {false, true}) {
+    for (size_t budget = 0; budget < content_size;
+         budget += 1 + content_size / 32) {
+      env.FailAppendsAfterBytes(static_cast<int64_t>(budget), torn);
+      EXPECT_FALSE(cache->SaveTo(path).ok());
+      env.ClearFaults();
+      Result<std::unique_ptr<XNFCache>> restored = XNFCache::LoadFrom(
+          &db, path, testing_util::kDepsArcQuery, options);
+      ASSERT_TRUE(restored.ok())
+          << "budget " << budget << ": " << restored.status().ToString();
+      EXPECT_EQ(restored.value()->workspace().component("XEMP").value()->size(),
+                3u);
+    }
+  }
+  env.RemoveFile(path);
+}
+
+TEST(CorruptionTest, ReadCorruptionDetectedThroughEnv) {
+  FaultInjectionEnv env;
+  Database db(&env);
+  BuildDb(&db);
+  std::string path = TestPath("corruption_read.db");
+  ASSERT_TRUE(db.SaveTo(path).ok());
+
+  Database intact;
+  ASSERT_TRUE(LoadCatalogFromFile(path, &intact.catalog(), &env).ok());
+
+  // A flipped byte in the middle of the file is caught by the CRCs.
+  env.CorruptReadAt(static_cast<int64_t>(SavedCatalog(&db).size() / 2));
+  Database corrupted;
+  Status s = LoadCatalogFromFile(path, &corrupted.catalog(), &env);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  env.ClearFaults();
+  env.RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace xnfdb

@@ -1,0 +1,195 @@
+// Tests of the file-system boundary: PosixEnv primitives, the crash-safe
+// AtomicallyWriteFile helper, and the FaultInjectionEnv's fault plan and
+// per-operation counters — the infrastructure every durability test builds
+// on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32.h"
+#include "common/env.h"
+#include "common/fault_env.h"
+
+namespace xnfdb {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(Env* env, const std::string& path) {
+  std::string out;
+  EXPECT_TRUE(env->ReadFileToString(path, &out).ok());
+  return out;
+}
+
+TEST(Crc32Test, KnownVectorsAndChaining) {
+  // The standard CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Chunked computation matches the one-shot result.
+  uint32_t chained = Crc32("456789", Crc32("123"));
+  EXPECT_EQ(chained, Crc32("123456789"));
+  EXPECT_EQ(Crc32Hex(0xCBF43926u), "cbf43926");
+  EXPECT_EQ(Crc32Hex(0x0000000Au), "0000000a");
+}
+
+TEST(PosixEnvTest, WriteReadRenameRemove) {
+  Env* env = Env::Default();
+  std::string path = TestPath("env_posix.txt");
+  Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  std::unique_ptr<WritableFile> out = std::move(file).value();
+  ASSERT_TRUE(out->Append("hello ").ok());
+  ASSERT_TRUE(out->Append("world").ok());
+  ASSERT_TRUE(out->Sync().ok());
+  ASSERT_TRUE(out->Close().ok());
+
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_EQ(ReadAll(env, path), "hello world");
+
+  std::string moved = TestPath("env_posix_moved.txt");
+  ASSERT_TRUE(env->RenameFile(path, moved).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_EQ(ReadAll(env, moved), "hello world");
+
+  ASSERT_TRUE(env->RemoveFile(moved).ok());
+  EXPECT_FALSE(env->FileExists(moved));
+
+  std::string missing;
+  EXPECT_EQ(env->ReadFileToString(TestPath("no_such_file"), &missing).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(env->RemoveFile(TestPath("no_such_file")).code(),
+            StatusCode::kIoError);
+}
+
+TEST(PosixEnvTest, AtomicWriteReplacesAndLeavesNoTemp) {
+  Env* env = Env::Default();
+  std::string path = TestPath("env_atomic.txt");
+  ASSERT_TRUE(AtomicallyWriteFile(env, path, "version 1").ok());
+  EXPECT_EQ(ReadAll(env, path), "version 1");
+  ASSERT_TRUE(AtomicallyWriteFile(env, path, "version 2, longer").ok());
+  EXPECT_EQ(ReadAll(env, path), "version 2, longer");
+  env->RemoveFile(path);
+}
+
+TEST(FaultInjectionEnvTest, CountersTrackOperations) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_counters.txt");
+  auto out = env.NewWritableFile(path).value();
+  ASSERT_TRUE(out->Append("abcde").ok());
+  ASSERT_TRUE(out->Append("fgh").ok());
+  ASSERT_TRUE(out->Sync().ok());
+  ASSERT_TRUE(out->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "abcdefgh");
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+
+  const FaultInjectionEnv::Counters& c = env.counters();
+  EXPECT_EQ(c.writable_files_opened, 1);
+  EXPECT_EQ(c.appends, 2);
+  EXPECT_EQ(c.bytes_appended, 8);
+  EXPECT_EQ(c.syncs, 1);
+  EXPECT_EQ(c.closes, 1);
+  EXPECT_EQ(c.reads, 1);
+  EXPECT_EQ(c.removes, 1);
+  EXPECT_EQ(c.injected_errors, 0);
+}
+
+TEST(FaultInjectionEnvTest, WriteErrorAfterBudget) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_budget.txt");
+  env.FailAppendsAfterBytes(5);
+  auto out = env.NewWritableFile(path).value();
+  ASSERT_TRUE(out->Append("12345").ok());  // exactly the budget
+  Status s = out->Append("6");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // Nothing of the failed append reached the file.
+  ASSERT_TRUE(out->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "12345");
+  EXPECT_EQ(env.counters().injected_errors, 1);
+  env.ClearFaults();
+  env.RemoveFile(path);
+}
+
+TEST(FaultInjectionEnvTest, TornWritePersistsPrefix) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_torn.txt");
+  env.FailAppendsAfterBytes(3, /*torn=*/true);
+  auto out = env.NewWritableFile(path).value();
+  Status s = out->Append("abcdef");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  ASSERT_TRUE(out->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "abc");  // the torn prefix survived
+  env.ClearFaults();
+  env.RemoveFile(path);
+}
+
+TEST(FaultInjectionEnvTest, SyncAndRenameFailures) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_sync.txt");
+  env.FailNextSyncs(1);
+  auto out = env.NewWritableFile(path).value();
+  ASSERT_TRUE(out->Append("data").ok());
+  EXPECT_EQ(out->Sync().code(), StatusCode::kIoError);
+  EXPECT_TRUE(out->Sync().ok());  // only one sync was poisoned
+  ASSERT_TRUE(out->Close().ok());
+
+  env.FailNextRenames(1);
+  std::string to = TestPath("env_sync_renamed.txt");
+  EXPECT_EQ(env.RenameFile(path, to).code(), StatusCode::kIoError);
+  EXPECT_TRUE(env.RenameFile(path, to).ok());
+  env.RemoveFile(to);
+}
+
+TEST(FaultInjectionEnvTest, ReadCorruptionFlipsByte) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_corrupt.txt");
+  ASSERT_TRUE(AtomicallyWriteFile(&env, path, "sound data").ok());
+  env.CorruptReadAt(2);
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString(path, &contents).ok());
+  EXPECT_NE(contents, "sound data");
+  EXPECT_EQ(contents.size(), 10u);
+  EXPECT_EQ(contents[0], 's');
+  EXPECT_NE(contents[2], 'u');
+  env.ClearFaults();
+  env.RemoveFile(path);
+}
+
+TEST(FaultInjectionEnvTest, AtomicWriteFailuresLeavePreviousFile) {
+  FaultInjectionEnv env;
+  std::string path = TestPath("env_atomic_fault.txt");
+  ASSERT_TRUE(AtomicallyWriteFile(&env, path, "old contents").ok());
+
+  // Write failure, sync failure, rename failure: each aborts the replace
+  // and the previous version stays readable.
+  env.FailAppendsAfterBytes(4);
+  EXPECT_FALSE(AtomicallyWriteFile(&env, path, "new contents A").ok());
+  env.ClearFaults();
+  EXPECT_EQ(ReadAll(&env, path), "old contents");
+
+  env.FailNextSyncs(1);
+  EXPECT_FALSE(AtomicallyWriteFile(&env, path, "new contents B").ok());
+  env.ClearFaults();
+  EXPECT_EQ(ReadAll(&env, path), "old contents");
+
+  env.FailNextRenames(1);
+  EXPECT_FALSE(AtomicallyWriteFile(&env, path, "new contents C").ok());
+  env.ClearFaults();
+  EXPECT_EQ(ReadAll(&env, path), "old contents");
+
+  // With faults cleared the replace goes through.
+  EXPECT_TRUE(AtomicallyWriteFile(&env, path, "new contents D").ok());
+  EXPECT_EQ(ReadAll(&env, path), "new contents D");
+  env.RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace xnfdb
