@@ -31,6 +31,7 @@ struct Fixture {
 
   Fixture() {
     Oo1Params params;
+    if (SmokeMode()) params.parts = 1000;
     CheckOk(PopulateOo1(&db, params), "populate OO1");
     XNFCache::Options opts;
     opts.workspace.swizzle = true;
@@ -141,5 +142,6 @@ int main(int argc, char** argv) {
       "per second in a pre-loaded cache).\n");
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
+  xnfdb::bench::WriteBenchJson("cache_traversal");
   return 0;
 }

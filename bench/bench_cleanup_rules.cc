@@ -60,7 +60,7 @@ int Run() {
   std::printf("%-8s | %6s %6s %12s | %12s | %12s | %10s\n", "depts", "boxes",
               "ops", "rules-on(ms)", "off+hash(ms)", "off+naive(ms)",
               "naive/on");
-  for (int departments : {20, 80, 320}) {
+  for (int departments : Scales({20, 80, 320})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -80,6 +80,7 @@ int Run() {
       "\nExpected shape: without the rules *and* without hashed existential "
       "checks (the 1994 baseline), evaluation degrades sharply with scale; "
       "the rules keep the plan compact (fewer live boxes).\n");
+  WriteBenchJson("cleanup_rules");
   return 0;
 }
 

@@ -35,7 +35,7 @@ int Run() {
   std::printf("%-8s %10s | %12s %10s | %12s %10s | %8s\n", "depts", "tuples",
               "batch(ms)", "calls", "per-tup(ms)", "calls", "speedup");
 
-  for (int departments : {20, 80, 320}) {
+  for (int departments : Scales({20, 80, 320})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -89,6 +89,7 @@ int Run() {
   std::printf(
       "\nExpected shape: calls grow linearly with the CO size for the "
       "tuple-at-a-time interface and stay at 1 for batched delivery.\n");
+  WriteBenchJson("delivery");
   return 0;
 }
 

@@ -70,7 +70,7 @@ int Run() {
               "emps", "nav(ms)", "nav calls", "xnf(ms)", "xnf calls",
               "speedup");
 
-  for (int departments : {10, 40, 160}) {
+  for (int departments : Scales({10, 40, 160})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -111,6 +111,7 @@ int Run() {
       "\nExpected shape: navigational extraction issues one query per "
       "parent instance (calls grow with the data); XNF extracts the whole "
       "CO in a single set-oriented call.\n");
+  WriteBenchJson("extraction");
   return 0;
 }
 

@@ -39,7 +39,7 @@ int Run() {
               "naive(ms)", "hash-exist(ms)", "rewritten(ms)",
               "naive/rewr");
 
-  for (int emps : {1000, 4000, 16000}) {
+  for (int emps : Scales({1000, 4000, 16000})) {
     int depts = emps / 10;
     Database db;
     DeptDbParams params;
@@ -84,6 +84,7 @@ int Run() {
   std::printf(
       "\nExpected shape: the rewritten join wins, increasingly with scale "
       "(paper: \"orders of magnitude improvement\").\n");
+  WriteBenchJson("fig3_rewrite");
   return 0;
 }
 

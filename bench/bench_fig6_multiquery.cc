@@ -44,7 +44,7 @@ int Run() {
   std::printf("%-8s | %12s %12s | %12s %12s | %8s\n", "depts", "SQL(ms)",
               "scanned", "XNF(ms)", "scanned", "speedup");
 
-  for (int departments : {20, 60, 180}) {
+  for (int departments : Scales({20, 60, 180})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -96,6 +96,7 @@ int Run() {
       "\nExpected shape: XNF scans each base table once and reuses shared "
       "subexpressions; the 8-query plan re-derives them (Table 1: 23 vs 7 "
       "operations).\n");
+  WriteBenchJson("fig6_multiquery");
   return 0;
 }
 

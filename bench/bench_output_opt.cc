@@ -35,7 +35,7 @@ int Run() {
               "ops", "scanned", "shared(ms)", "scanned", "uns+spool",
               "scanned", "uns-nospool");
 
-  for (int departments : {20, 80, 320}) {
+  for (int departments : Scales({20, 80, 320})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -80,6 +80,7 @@ int Run() {
       "\nExpected shape: the shared (paper) plan does the least base-table "
       "work; without spooling, independent derivations recompute shared "
       "subexpressions and fall behind with scale.\n");
+  WriteBenchJson("output_opt");
   return 0;
 }
 

@@ -31,7 +31,7 @@ int Run() {
   std::printf("%-8s | %12s %12s %12s %12s | %10s\n", "depts", "1 wrk(ms)",
               "2 wrk(ms)", "4 wrk(ms)", "8 wrk(ms)", "best spdup");
 
-  for (int departments : {80, 320, 640}) {
+  for (int departments : Scales({80, 320, 640})) {
     Database db;
     DeptDbParams params;
     params.departments = departments;
@@ -71,6 +71,7 @@ int Run() {
       "\nExpected shape: wall-clock drops as independent output streams "
       "evaluate concurrently (bounded by the serialized shared-spool "
       "builds and the machine's core count).\n");
+  WriteBenchJson("parallel");
   return 0;
 }
 

@@ -10,6 +10,7 @@
 // recursive CO support).
 
 #include <cstdio>
+#include <iterator>
 #include <random>
 #include <sstream>
 
@@ -90,7 +91,9 @@ int Run() {
   struct Config {
     int depth, fanout;
   } configs[] = {{4, 3}, {6, 3}, {8, 3}, {10, 2}};
-  for (const Config& config : configs) {
+  const size_t n_configs = SmokeMode() ? 1 : std::size(configs);
+  for (size_t ci = 0; ci < n_configs; ++ci) {
+    const Config& config = configs[ci];
     Database db;
     int parts = BuildBom(&db, config.depth, config.fanout, 11);
     size_t reached = 0;
@@ -118,6 +121,7 @@ int Run() {
       "\nExpected shape: the fixpoint reaches the full transitive closure "
       "with time roughly linear in edges; a fixed unrolling reaches only "
       "its hard-coded depth.\n");
+  WriteBenchJson("recursive");
   return 0;
 }
 

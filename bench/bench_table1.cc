@@ -165,6 +165,12 @@ int Run() {
   bool ok = xnf_total.joins == 6 && xnf_total.selections == 1 &&
             sql_total == 23;
   std::printf("\nRESULT: %s\n", ok ? "MATCHES PAPER" : "DIFFERS FROM PAPER");
+  WriteBenchJson("table1",
+                 "{\"sql_ops\":" + std::to_string(sql_total) +
+                     ",\"xnf_ops\":" + std::to_string(xnf_sum) +
+                     ",\"replicated_ops\":" +
+                     std::to_string(measured_replicated) +
+                     ",\"matches_paper\":" + (ok ? "true" : "false") + "}");
   return 0;
 }
 

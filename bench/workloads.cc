@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <random>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace xnfdb {
 namespace bench {
@@ -14,6 +17,32 @@ void CheckOk(const Status& status, const std::string& what) {
                  status.ToString().c_str());
     std::exit(1);
   }
+}
+
+void WriteBenchJson(const std::string& name,
+                    const std::string& results_json) {
+  const char* dir = std::getenv("XNFDB_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path =
+      std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"" << name << "\",\"smoke\":"
+      << (SmokeMode() ? "true" : "false") << ",\"results\":" << results_json
+      << ",\"metrics\":" << obs::MetricsRegistry::Default().ToJson() << "}\n";
+}
+
+bool SmokeMode() {
+  const char* v = std::getenv("XNFDB_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+std::vector<int> Scales(std::vector<int> full) {
+  if (SmokeMode() && full.size() > 1) full.resize(1);
+  return full;
 }
 
 const char* kDepsArcQuery = R"sql(

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/database.h"
 
@@ -59,6 +60,21 @@ double TimeSecs(Fn&& fn) {
 
 // Fails fast on unexpected errors in bench setup code.
 void CheckOk(const Status& status, const std::string& what);
+
+// When XNFDB_BENCH_JSON_DIR is set, writes <dir>/BENCH_<name>.json holding
+// the bench's own numbers (`results_json`, a JSON object literal) plus the
+// process-wide metrics snapshot, so perf runs land as machine-readable
+// artifacts. No-op when the variable is unset.
+void WriteBenchJson(const std::string& name,
+                    const std::string& results_json = "{}");
+
+// True when XNFDB_BENCH_SMOKE is set (nonempty, not "0"): benches should
+// shrink their workloads to a seconds-scale sanity pass for CI.
+bool SmokeMode();
+
+// The scale points a bench should sweep: all of `full` normally, only the
+// first in smoke mode.
+std::vector<int> Scales(std::vector<int> full);
 
 }  // namespace bench
 }  // namespace xnfdb

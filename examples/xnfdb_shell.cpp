@@ -5,6 +5,8 @@
 //   .help               this text
 //   .tables             list tables and views
 //   .explain <query>    show rewrite stats, op counts and physical plan
+//   .analyze <query>    EXPLAIN ANALYZE: plan with actual rows/loops/time
+//   .metrics            process-wide metrics snapshot as JSON
 //   .dot <query>        emit the query graph in Graphviz DOT
 //   .save <file>        persist the database
 //   .open <file>        load a database (into an empty shell)
@@ -118,8 +120,8 @@ int main() {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         std::printf(
-            ".tables | .explain <q> | .dot <q> | .save <f> | .open <f> | "
-            ".quit\nStatements end with ';'.\n");
+            ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics | "
+            ".save <f> | .open <f> | .quit\nStatements end with ';'.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -132,6 +134,12 @@ int main() {
         auto plan = db.Explain(arg);
         std::printf("%s\n", plan.ok() ? plan.value().c_str()
                                       : plan.status().ToString().c_str());
+      } else if (cmd == ".analyze") {
+        auto plan = db.Explain(arg, Database::ExplainOptions{true});
+        std::printf("%s\n", plan.ok() ? plan.value().c_str()
+                                      : plan.status().ToString().c_str());
+      } else if (cmd == ".metrics") {
+        std::printf("%s\n", db.MetricsJson().c_str());
       } else if (cmd == ".dot") {
         auto compiled = xnfdb::CompileQueryString(db.catalog(), arg);
         if (!compiled.ok()) {

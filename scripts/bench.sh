@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every bench_* target and collects the per-bench JSON metric
+# snapshots as BENCH_<name>.json at the repo root, so the perf trajectory
+# of the codebase accumulates as machine-readable artifacts.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   shrink every workload to its smallest scale point (CI sanity
+#             pass: exercises metric emission, not a real measurement).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+mapfile -t BENCHES < <(sed -n 's/^xnfdb_bench(\(.*\))$/\1/p' bench/CMakeLists.txt)
+BENCHES+=(bench_cache_traversal)
+cmake --build build -j "$(nproc)" --target "${BENCHES[@]}" >/dev/null
+
+export XNFDB_BENCH_JSON_DIR="$ROOT"
+if [ "$SMOKE" = 1 ]; then
+  export XNFDB_BENCH_SMOKE=1
+fi
+
+for bench in "${BENCHES[@]}"; do
+  echo "== $bench =="
+  extra_args=()
+  if [ "$bench" = bench_cache_traversal ] && [ "$SMOKE" = 1 ]; then
+    extra_args+=(--benchmark_min_time=0.05s)
+  fi
+  "build/bench/$bench" "${extra_args[@]}"
+  echo
+done
+
+echo "bench: wrote $(ls BENCH_*.json | wc -l) BENCH_*.json snapshots"

@@ -1,5 +1,6 @@
 #include "api/database.h"
 
+#include <fstream>
 #include <vector>
 
 #include "exec/expr_eval.h"
@@ -91,6 +92,30 @@ Result<Value> EvalLiteralExpr(const ast::Expr& e) {
 
 }  // namespace
 
+Database::~Database() {
+  // Trace dump is best-effort diagnostics; it bypasses the Env (and thus
+  // fault injection) on purpose.
+  if (!tracer_.enabled()) return;
+  std::string path = obs::Tracer::EnvDumpPath();
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << tracer_.ChromeTraceJson();
+}
+
+CompileOptions Database::WithObs(const CompileOptions& copts) {
+  CompileOptions co = copts;
+  if (co.tracer == nullptr) co.tracer = &tracer_;
+  if (co.metrics == nullptr) co.metrics = metrics_;
+  return co;
+}
+
+ExecOptions Database::WithObs(const ExecOptions& eopts) {
+  ExecOptions eo = eopts;
+  if (eo.tracer == nullptr) eo.tracer = &tracer_;
+  if (eo.metrics == nullptr) eo.metrics = metrics_;
+  return eo;
+}
+
 Result<Database::Outcome> Database::Execute(const std::string& sql) {
   CountServerCall();
   if (transient_failures_ > 0) {
@@ -126,12 +151,13 @@ Result<QueryResult> Database::Query(const std::string& text,
                                     const CompileOptions& copts,
                                     const ExecOptions& eopts) {
   CountServerCall();
+  obs::Span query_span = tracer_.StartSpan("query");
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                         CompileQueryString(catalog_, text, copts));
+                         CompileQueryString(catalog_, text, WithObs(copts)));
   if (compiled.needs_fixpoint) {
-    return ExecuteXnfFixpoint(catalog_, *compiled.graph, eopts);
+    return ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts));
   }
-  return ExecuteGraph(catalog_, *compiled.graph, eopts);
+  return ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
 }
 
 Result<std::string> Database::Explain(const std::string& text,
@@ -161,16 +187,42 @@ Result<std::string> Database::Explain(const std::string& text,
   return out;
 }
 
+Result<std::string> Database::Explain(const std::string& text,
+                                      const ExplainOptions& xopts,
+                                      const CompileOptions& copts,
+                                      const ExecOptions& eopts) {
+  if (!xopts.analyze) return Explain(text, copts, eopts);
+  XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileQueryString(catalog_, text, WithObs(copts)));
+  if (compiled.needs_fixpoint) {
+    return Status::Unsupported(
+        "EXPLAIN ANALYZE is not supported for recursive COs (the fixpoint "
+        "evaluator has no operator tree)");
+  }
+  ExecOptions eo = WithObs(eopts);
+  eo.analyze = true;
+  XNFDB_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteGraph(catalog_, *compiled.graph, eo));
+  std::string out;
+  out += "rewrite: " + compiled.rewrite_stats.ToString() + "\n";
+  OpCounts counts = CountOps(*compiled.graph);
+  out += "operations: " + counts.ToString() + "\n";
+  for (const std::string& plan : result.plan_texts) out += plan;
+  out += "stats: " + result.stats.ToString() + "\n";
+  return out;
+}
+
 Result<QueryResult> Database::QueryXnf(const ast::XnfQuery& query,
                                        const CompileOptions& copts,
                                        const ExecOptions& eopts) {
   CountServerCall();
+  obs::Span query_span = tracer_.StartSpan("query");
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                         CompileXnf(catalog_, query, copts));
+                         CompileXnf(catalog_, query, WithObs(copts)));
   if (compiled.needs_fixpoint) {
-    return ExecuteXnfFixpoint(catalog_, *compiled.graph, eopts);
+    return ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts));
   }
-  return ExecuteGraph(catalog_, *compiled.graph, eopts);
+  return ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
 }
 
 Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
@@ -178,23 +230,29 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
   switch (stmt.kind) {
     case Kind::kSelect: {
       const auto& s = static_cast<const ast::SelectStatement&>(stmt);
-      XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                             CompileSelect(catalog_, *s.select));
-      XNFDB_ASSIGN_OR_RETURN(outcome->result,
-                             ExecuteGraph(catalog_, *compiled.graph));
+      XNFDB_ASSIGN_OR_RETURN(
+          CompiledQuery compiled,
+          CompileSelect(catalog_, *s.select, WithObs(CompileOptions())));
+      XNFDB_ASSIGN_OR_RETURN(
+          outcome->result,
+          ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
       outcome->kind = Outcome::Kind::kRows;
       return Status::Ok();
     }
     case Kind::kXnfQuery: {
       const auto& s = static_cast<const ast::XnfStatement&>(stmt);
-      XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
-                             CompileXnf(catalog_, *s.query));
+      XNFDB_ASSIGN_OR_RETURN(
+          CompiledQuery compiled,
+          CompileXnf(catalog_, *s.query, WithObs(CompileOptions())));
       if (compiled.needs_fixpoint) {
-        XNFDB_ASSIGN_OR_RETURN(outcome->result,
-                               ExecuteXnfFixpoint(catalog_, *compiled.graph));
+        XNFDB_ASSIGN_OR_RETURN(
+            outcome->result,
+            ExecuteXnfFixpoint(catalog_, *compiled.graph,
+                               WithObs(ExecOptions())));
       } else {
-        XNFDB_ASSIGN_OR_RETURN(outcome->result,
-                               ExecuteGraph(catalog_, *compiled.graph));
+        XNFDB_ASSIGN_OR_RETURN(
+            outcome->result,
+            ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
       }
       outcome->kind = Outcome::Kind::kRows;
       return Status::Ok();

@@ -17,6 +17,8 @@
 #include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/ast.h"
 #include "storage/catalog.h"
 #include "xnf/compiler.h"
@@ -31,6 +33,8 @@ class Database {
   explicit Database(Env* env) : env_(env) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+  // Dumps the collected trace to the XNFDB_TRACE path, when tracing is on.
+  ~Database();
 
   Env* env() const { return env_; }
 
@@ -70,6 +74,32 @@ class Database {
                               const CompileOptions& copts = {},
                               const ExecOptions& eopts = {});
 
+  // EXPLAIN ANALYZE ({analyze: true}): additionally *executes* the query
+  // and annotates every operator line with its actual row count, loop count
+  // and inclusive wall time.
+  struct ExplainOptions {
+    bool analyze = false;
+  };
+  Result<std::string> Explain(const std::string& text,
+                              const ExplainOptions& xopts,
+                              const CompileOptions& copts = {},
+                              const ExecOptions& eopts = {});
+
+  // --- observability ------------------------------------------------------
+  // This database's tracer (enabled by the XNFDB_TRACE environment
+  // variable) and the metrics registry it reports into (the process-wide
+  // default, shared with the CO cache and Env instrumentation).
+  obs::Tracer& tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  // One JSON snapshot of every metric in the system: phase-latency
+  // histograms, executor counters, CO cache swizzle/fetch counters, env I/O
+  // counters, and server.calls.
+  std::string MetricsJson() const { return metrics_->ToJson(); }
+  std::string MetricsPrometheus() const {
+    return metrics_->ToPrometheusText();
+  }
+
   // --- persistence (storage/persist.h through the env) --------------------
   // Saves the whole catalog crash-safely: v2 checksummed format, written to
   // a temp file, synced, then atomically renamed over `path` — an
@@ -85,7 +115,10 @@ class Database {
   // "one tuple at a time" interface.
   int64_t server_calls() const { return server_calls_; }
   void ResetServerCalls() { server_calls_ = 0; }
-  void CountServerCall(int64_t n = 1) { server_calls_ += n; }
+  void CountServerCall(int64_t n = 1) {
+    server_calls_ += n;
+    server_calls_counter_->Increment(n);
+  }
 
   // Models transient failures of the client/server boundary: the next `n`
   // Execute calls fail with kIoError before doing any work. Lets tests
@@ -99,10 +132,17 @@ class Database {
   Status RunUpdate(const ast::UpdateStatement& stmt, Outcome* outcome);
   Status RunDelete(const ast::DeleteStatement& stmt, Outcome* outcome);
 
+  // Fills unset observability sinks in copies of the caller's options.
+  CompileOptions WithObs(const CompileOptions& copts);
+  ExecOptions WithObs(const ExecOptions& eopts);
+
   Catalog catalog_;
   Env* env_;
   int64_t server_calls_ = 0;
   int transient_failures_ = 0;
+  obs::Tracer tracer_{obs::Tracer::FromEnv{}};
+  obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
+  obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");
 };
 
 }  // namespace xnfdb

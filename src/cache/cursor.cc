@@ -3,14 +3,27 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace xnfdb {
+
+namespace {
+
+// Stable handle, looked up once per process (see obs/metrics.h).
+obs::Counter* FetchCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("cache.cursor.fetches");
+  return c;
+}
+
+}  // namespace
 
 bool IndependentCursor::Next() {
   while (pos_ < component_->size()) {
     CachedRow* row = component_->row(pos_++);
     if (row->deleted) continue;
     current_ = row;
+    FetchCounter()->Increment();
     return true;
   }
   current_ = nullptr;
@@ -49,20 +62,28 @@ void DependentCursor::Rebind(const CachedRow* anchor) {
 
 bool DependentCursor::Next() {
   if (swizzled_ != nullptr) {
+    static obs::Counter* swizzled_steps =
+        obs::MetricsRegistry::Default().GetCounter(
+            "cache.cursor.swizzled_steps");
     while (pos_ < swizzled_->size()) {
       CachedRow* row = (*swizzled_)[pos_++];
+      swizzled_steps->Increment();
       if (row->deleted) continue;
       current_ = row;
+      FetchCounter()->Increment();
       return true;
     }
     current_ = nullptr;
     return false;
   }
   if (tids_ != nullptr) {
+    // Unswizzled navigation pays a hash lookup per step; FindByTid counts
+    // it under cache.lookup.{hits,misses}.
     while (pos_ < tids_->size()) {
       CachedRow* row = tid_component_->FindByTid((*tids_)[pos_++]);
       if (row == nullptr || row->deleted) continue;
       current_ = row;
+      FetchCounter()->Increment();
       return true;
     }
   }

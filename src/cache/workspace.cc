@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace xnfdb {
 
 CachedRow* ComponentTable::FindByTid(TupleId tid) {
+  // Handles are stable for the registry's lifetime, so the name lookup
+  // happens once per process, not per call.
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Default().GetCounter("cache.lookup.hits");
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Default().GetCounter("cache.lookup.misses");
   auto it = by_tid_.find(tid);
-  return it == by_tid_.end() ? nullptr : it->second;
+  if (it == by_tid_.end()) {
+    misses->Increment();
+    return nullptr;
+  }
+  hits->Increment();
+  return it->second;
 }
 
 CachedRow* ComponentTable::FindByValue(int col, const Value& v) {
@@ -128,6 +141,8 @@ Status Workspace::AddConnection(Relationship* rel, std::vector<TupleId> tids,
   auto ensure = [rel_count](std::vector<std::vector<CachedRow*>>* adj) {
     if (adj->size() < rel_count) adj->resize(rel_count);
   };
+  static obs::Counter* swizzle_installs =
+      obs::MetricsRegistry::Default().GetCounter("cache.swizzle.installs");
   for (size_t pi = 1; pi < conn->partners.size(); ++pi) {
     CachedRow* child = conn->partners[pi];
     if (options_.swizzle) {
@@ -135,6 +150,7 @@ Status Workspace::AddConnection(Relationship* rel, std::vector<TupleId> tids,
       ensure(&child->parents);
       parent->children[rel->index()].push_back(child);
       child->parents[rel->index()].push_back(parent);
+      swizzle_installs->Increment();
     }
     rel->children_by_parent_[parent->tid].push_back(child->tid);
     rel->parents_by_child_[child->tid].push_back(parent->tid);

@@ -8,6 +8,7 @@
 
 #include "common/crc32.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace xnfdb {
 
@@ -478,8 +479,17 @@ constexpr char kJournalMagic[] = "XNFJOURNAL 1";
 
 // Runs `op`, retrying transient kIoError failures up to `max_retries` extra
 // times with exponential backoff. Other error codes are not retried.
+// Every retry counts under writeback.retries (with the backoff slept under
+// writeback.backoff_ms); an operation that stays failed after the last
+// retry counts under writeback.failures.
 Status RetryTransient(const WriteBackOptions& options,
                       const std::function<Status()>& op) {
+  static obs::Counter* retries =
+      obs::MetricsRegistry::Default().GetCounter("writeback.retries");
+  static obs::Counter* failures =
+      obs::MetricsRegistry::Default().GetCounter("writeback.failures");
+  static obs::Counter* backoff_total =
+      obs::MetricsRegistry::Default().GetCounter("writeback.backoff_ms");
   Status status = op();
   int backoff_ms = options.backoff_initial_ms;
   for (int attempt = 0;
@@ -488,10 +498,13 @@ Status RetryTransient(const WriteBackOptions& options,
        ++attempt) {
     if (backoff_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_total->Increment(backoff_ms);
     }
     backoff_ms *= 2;
+    retries->Increment();
     status = op();
   }
+  if (!status.ok()) failures->Increment();
   return status;
 }
 

@@ -8,12 +8,19 @@
 #include <cstring>
 #include <istream>
 
+#include "obs/metrics.h"
+
 namespace xnfdb {
 
 namespace {
 
 Status ErrnoError(const std::string& context) {
   return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+// Registry handles are stable; look each name up once per process.
+obs::Counter* EnvCounter(const char* name) {
+  return obs::MetricsRegistry::Default().GetCounter(name);
 }
 
 class PosixWritableFile : public WritableFile {
@@ -26,10 +33,12 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(std::string_view data) override {
+    static obs::Counter* bytes_written = EnvCounter("env.bytes_written");
     if (file_ == nullptr) return Status::IoError(path_ + " is closed");
     if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
       return ErrnoError("write " + path_);
     }
+    bytes_written->Increment(static_cast<int64_t>(data.size()));
     return Status::Ok();
   }
 
@@ -40,8 +49,10 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Sync() override {
+    static obs::Counter* syncs = EnvCounter("env.syncs");
     XNFDB_RETURN_IF_ERROR(Flush());
     if (::fsync(fileno(file_)) != 0) return ErrnoError("fsync " + path_);
+    syncs->Increment();
     return Status::Ok();
   }
 
@@ -62,12 +73,16 @@ class PosixEnv : public Env {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override {
+    static obs::Counter* opened = EnvCounter("env.files_opened");
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) return ErrnoError("open " + path + " for writing");
+    opened->Increment();
     return std::unique_ptr<WritableFile>(new PosixWritableFile(f, path));
   }
 
   Status ReadFileToString(const std::string& path, std::string* out) override {
+    static obs::Counter* reads = EnvCounter("env.reads");
+    static obs::Counter* bytes_read = EnvCounter("env.bytes_read");
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) return ErrnoError("open " + path);
     out->clear();
@@ -79,20 +94,28 @@ class PosixEnv : public Env {
     Status status =
         std::ferror(f) ? ErrnoError("read " + path) : Status::Ok();
     std::fclose(f);
+    if (status.ok()) {
+      reads->Increment();
+      bytes_read->Increment(static_cast<int64_t>(out->size()));
+    }
     return status;
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
+    static obs::Counter* renames = EnvCounter("env.renames");
     if (std::rename(from.c_str(), to.c_str()) != 0) {
       return ErrnoError("rename " + from + " -> " + to);
     }
+    renames->Increment();
     return Status::Ok();
   }
 
   Status RemoveFile(const std::string& path) override {
+    static obs::Counter* removes = EnvCounter("env.removes");
     if (std::remove(path.c_str()) != 0) {
       return ErrnoError("remove " + path);
     }
+    removes->Increment();
     return Status::Ok();
   }
 

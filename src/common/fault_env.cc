@@ -14,7 +14,7 @@ class FaultyWritableFile : public WritableFile {
     ++env_->counters_.appends;
     if (env_->append_budget_ >= 0 &&
         static_cast<int64_t>(data.size()) > env_->append_budget_) {
-      ++env_->counters_.injected_errors;
+      env_->CountInjectedError();
       if (env_->torn_writes_ && env_->append_budget_ > 0) {
         std::string_view prefix =
             data.substr(0, static_cast<size_t>(env_->append_budget_));
@@ -41,7 +41,7 @@ class FaultyWritableFile : public WritableFile {
     ++env_->counters_.syncs;
     if (env_->failing_syncs_ > 0) {
       --env_->failing_syncs_;
-      ++env_->counters_.injected_errors;
+      env_->CountInjectedError();
       return Status::IoError("injected fsync failure");
     }
     return base_->Sync();
@@ -74,7 +74,7 @@ Status FaultInjectionEnv::ReadFileToString(const std::string& path,
       corrupt_offset_ < static_cast<int64_t>(out->size())) {
     (*out)[static_cast<size_t>(corrupt_offset_)] ^=
         static_cast<char>(corrupt_mask_);
-    ++counters_.injected_errors;
+    CountInjectedError();
   }
   return Status::Ok();
 }
@@ -84,7 +84,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
   ++counters_.renames;
   if (failing_renames_ > 0) {
     --failing_renames_;
-    ++counters_.injected_errors;
+    CountInjectedError();
     return Status::IoError("injected rename failure");
   }
   return base_->RenameFile(from, to);

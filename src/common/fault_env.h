@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/env.h"
+#include "obs/metrics.h"
 
 namespace xnfdb {
 
@@ -82,8 +83,18 @@ class FaultInjectionEnv : public Env {
  private:
   friend class FaultyWritableFile;
 
+  // A fault fired: count it locally and in the process-wide registry
+  // (`env.injected_errors`), so injected failures show up in the same
+  // MetricsJson snapshot as the real I/O they displace.
+  void CountInjectedError() {
+    ++counters_.injected_errors;
+    injected_errors_counter_->Increment();
+  }
+
   Env* base_;
   Counters counters_;
+  obs::Counter* injected_errors_counter_ =
+      obs::MetricsRegistry::Default().GetCounter("env.injected_errors");
   int64_t append_budget_ = -1;  // bytes until appends fail; <0 = unlimited
   bool torn_writes_ = false;
   int failing_syncs_ = 0;

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <set>
@@ -8,6 +9,31 @@
 #include <unordered_map>
 
 namespace xnfdb {
+
+namespace {
+
+// Observes the elapsed microseconds since `t0` into `metrics[name]`; no-op
+// without a registry.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::MetricsRegistry* metrics, const char* name)
+      : metrics_(metrics), name_(name),
+        t0_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    if (metrics_ == nullptr) return;
+    int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+    metrics_->GetHistogram(name_)->Observe(us);
+  }
+
+ private:
+  obs::MetricsRegistry* metrics_;
+  const char* name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 int QueryResult::FindOutput(const std::string& name) const {
   for (size_t i = 0; i < outputs.size(); ++i) {
@@ -105,7 +131,13 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   }
   const qgm::Box* top = graph.box(graph.top_box_id());
   QueryResult result;
-  Planner planner(&catalog, &graph, options.plan, &result.stats);
+  // Workers increment `run_stats`, never the result object, so the result
+  // can be copied or moved freely: its stats are a consistent snapshot
+  // taken after every worker joined.
+  ExecStats run_stats;
+  PlanOptions plan_options = options.plan;
+  plan_options.analyze = options.analyze;
+  Planner planner(&catalog, &graph, plan_options, &run_stats);
 
   // Output descriptors.
   for (const qgm::TopOutput& out : top->outputs) {
@@ -143,6 +175,16 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
     }
   }
   std::vector<std::vector<StreamItem>> buffers(n_outputs);
+  std::vector<std::string> plan_texts(n_outputs);
+
+  // Renders the annotated plan tree of one finished output (analyze mode).
+  auto capture_plan = [&](int oi, const qgm::TopOutput& out, Operator* op) {
+    if (!options.analyze) return;
+    std::string text = "output " + out.name +
+                       (out.is_connection ? " [connection]" : "") + ":\n";
+    op->Explain(1, &text);
+    plan_texts[oi] = std::move(text);
+  };
 
   // Pass 1: component streams (tuple ids assigned; XNF components dedup).
   // Each output owns its buffer and tid map, so outputs evaluate in
@@ -152,7 +194,21 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
       n_outputs, options.parallel_workers, [&](int oi) -> Status {
         const qgm::TopOutput& out = top->outputs[oi];
         if (out.is_connection) return Status::Ok();
-        XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, planner.BoxIterator(out.box_id));
+        obs::Span plan_span;
+        if (options.tracer != nullptr) {
+          plan_span = options.tracer->StartSpan("plan " + out.name);
+        }
+        OperatorPtr op;
+        {
+          PhaseTimer timer(options.metrics, "phase.plan.us");
+          XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
+        }
+        plan_span.End();
+        obs::Span exec_span;
+        if (options.tracer != nullptr) {
+          exec_span = options.tracer->StartSpan("execute " + out.name);
+        }
+        PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         TidMap& map = tids[out.name];
         Tuple row;
@@ -172,10 +228,11 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
             item.tid = map.next++;
           }
           item.values = std::move(projected);
-          ++result.stats.rows_output;
+          ++run_stats.rows_output;
           buffers[oi].push_back(std::move(item));
         }
         op->Close();
+        capture_plan(oi, out, op.get());
         return Status::Ok();
       }));
 
@@ -184,7 +241,16 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
       n_outputs, options.parallel_workers, [&](int oi) -> Status {
         const qgm::TopOutput& out = top->outputs[oi];
         if (!out.is_connection) return Status::Ok();
-        XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, planner.BoxIterator(out.box_id));
+        obs::Span exec_span;
+        if (options.tracer != nullptr) {
+          exec_span = options.tracer->StartSpan("execute " + out.name);
+        }
+        OperatorPtr op;
+        {
+          PhaseTimer timer(options.metrics, "phase.plan.us");
+          XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
+        }
+        PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         std::set<std::vector<TupleId>> seen;
         Tuple row;
@@ -218,15 +284,26 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           item.kind = StreamItem::Kind::kConnection;
           item.output = oi;
           item.tids = std::move(partner_tids);
-          ++result.stats.rows_output;
+          ++run_stats.rows_output;
           buffers[oi].push_back(std::move(item));
         }
         op->Close();
+        capture_plan(oi, out, op.get());
         return Status::Ok();
       }));
 
+  // Workers have joined: the snapshot below is consistent.
+  result.stats = run_stats;
+  if (options.analyze) result.plan_texts = std::move(plan_texts);
+  if (options.metrics != nullptr) run_stats.PublishTo(options.metrics);
+
   // Merge the per-output buffers into one stream, in output order (a
   // deterministic interleaving; the paper allows any, Sect. 5.1).
+  obs::Span deliver_span;
+  if (options.tracer != nullptr) {
+    deliver_span = options.tracer->StartSpan("deliver");
+  }
+  PhaseTimer deliver_timer(options.metrics, "phase.deliver.us");
   size_t total = 0;
   for (const auto& b : buffers) total += b.size();
   result.stream.reserve(total);

@@ -18,6 +18,8 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/operators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/planner.h"
 #include "qgm/qgm.h"
 #include "storage/catalog.h"
@@ -49,7 +51,13 @@ struct StreamItem {
 struct QueryResult {
   std::vector<OutputDesc> outputs;
   std::vector<StreamItem> stream;
+  // A consistent post-execution snapshot: the executor accumulates into a
+  // private ExecStats while workers run and copies it here only after every
+  // worker has joined, so parallel runs report exact counters.
   ExecStats stats;
+  // EXPLAIN ANALYZE (ExecOptions::analyze): one rendered plan tree per
+  // output, annotated with actual rows/loops/wall time per operator.
+  std::vector<std::string> plan_texts;
 
   // Index of the output named `name`, or -1.
   int FindOutput(const std::string& name) const;
@@ -67,6 +75,15 @@ struct ExecOptions {
   // (paper Sect. 5.1/6: applying parallelism to set-oriented CO
   // extraction). 1 = sequential.
   int parallel_workers = 1;
+  // EXPLAIN ANALYZE: instrument operators with wall-time measurement and
+  // fill QueryResult::plan_texts with annotated plan trees.
+  bool analyze = false;
+  // Observability sinks; both optional. When set, the executor records
+  // plan/execute/deliver spans and phase-latency histograms, and publishes
+  // the run's ExecStats into `metrics` under `exec.*`. Database::Query
+  // fills these with its own tracer/registry when left null.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Executes a graph whose XNF box (if any) has already been rewritten away.

@@ -1,8 +1,12 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iomanip>
 #include <map>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace xnfdb {
 
@@ -14,6 +18,80 @@ std::string ExecStats::ToString() const {
      << " spool_read_rows=" << spool_read_rows << " output=" << rows_output
      << " operators=" << operators_created;
   return os.str();
+}
+
+void ExecStats::PublishTo(obs::MetricsRegistry* registry) const {
+  registry->GetCounter("exec.rows_scanned")->Increment(rows_scanned);
+  registry->GetCounter("exec.index_lookups")->Increment(index_lookups);
+  registry->GetCounter("exec.join_probes")->Increment(join_probes);
+  registry->GetCounter("exec.exists_probes")->Increment(exists_probes);
+  registry->GetCounter("exec.spool_builds")->Increment(spool_builds);
+  registry->GetCounter("exec.spool_read_rows")->Increment(spool_read_rows);
+  registry->GetCounter("exec.rows_output")->Increment(rows_output);
+  registry->GetCounter("exec.operators_created")->Increment(operators_created);
+}
+
+// --- Operator lifecycle wrappers -------------------------------------------
+
+namespace {
+
+int64_t ElapsedNs(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Status Operator::Open() {
+  ++actuals_.loops;
+  if (!analyze_) return OpenImpl();
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = OpenImpl();
+  actuals_.ns += ElapsedNs(t0);
+  return s;
+}
+
+Result<bool> Operator::Next(Tuple* row) {
+  if (!analyze_) {
+    Result<bool> r = NextImpl(row);
+    if (r.ok() && r.value()) ++actuals_.rows;
+    return r;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<bool> r = NextImpl(row);
+  actuals_.ns += ElapsedNs(t0);
+  if (r.ok() && r.value()) ++actuals_.rows;
+  return r;
+}
+
+void Operator::Close() {
+  if (!analyze_) {
+    CloseImpl();
+    return;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  CloseImpl();
+  actuals_.ns += ElapsedNs(t0);
+}
+
+void Operator::EnableAnalyze() {
+  analyze_ = true;
+  for (Operator* c : Children()) c->EnableAnalyze();
+}
+
+void Operator::SelfLine(int depth, const std::string& text,
+                        std::string* out) const {
+  if (!analyze_) {
+    ExplainLine(depth, text, out);
+    return;
+  }
+  std::ostringstream os;
+  os << text << " (actual rows=" << actuals_.rows
+     << " loops=" << actuals_.loops << " time=" << std::fixed
+     << std::setprecision(3)
+     << static_cast<double>(actuals_.ns) / 1e6 << "ms)";
+  ExplainLine(depth, os.str(), out);
 }
 
 Result<std::vector<Tuple>> DrainOperator(Operator* op) {
@@ -32,7 +110,7 @@ Result<std::vector<Tuple>> DrainOperator(Operator* op) {
 
 // --- sources ---------------------------------------------------------------
 
-Result<bool> ScanOp::Next(Tuple* row) {
+Result<bool> ScanOp::NextImpl(Tuple* row) {
   while (rid_ < table_->rid_bound()) {
     Rid r = rid_++;
     if (!table_->IsLive(r)) continue;
@@ -43,7 +121,7 @@ Result<bool> ScanOp::Next(Tuple* row) {
   return false;
 }
 
-Status IndexScanOp::Open() {
+Status IndexScanOp::OpenImpl() {
   const HashIndex* index = table_->GetIndex(column_);
   if (index == nullptr) {
     return Status::Internal("index scan without index on " + table_->name());
@@ -54,7 +132,7 @@ Status IndexScanOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> IndexScanOp::Next(Tuple* row) {
+Result<bool> IndexScanOp::NextImpl(Tuple* row) {
   if (rids_ == nullptr) return false;
   while (pos_ < rids_->size()) {
     Rid r = (*rids_)[pos_++];
@@ -66,7 +144,7 @@ Result<bool> IndexScanOp::Next(Tuple* row) {
   return false;
 }
 
-Status RangeScanOp::Open() {
+Status RangeScanOp::OpenImpl() {
   const OrderedIndex* index = table_->GetOrderedIndex(column_);
   if (index == nullptr) {
     return Status::Internal("range scan without ordered index on " +
@@ -80,7 +158,7 @@ Status RangeScanOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> RangeScanOp::Next(Tuple* row) {
+Result<bool> RangeScanOp::NextImpl(Tuple* row) {
   while (pos_ < rids_.size()) {
     Rid r = rids_[pos_++];
     if (!table_->IsLive(r)) continue;
@@ -91,7 +169,7 @@ Result<bool> RangeScanOp::Next(Tuple* row) {
   return false;
 }
 
-Result<bool> MaterializedOp::Next(Tuple* row) {
+Result<bool> MaterializedOp::NextImpl(Tuple* row) {
   if (pos_ >= rows_->size()) return false;
   *row = (*rows_)[pos_++];
   if (stats_ != nullptr) ++stats_->spool_read_rows;
@@ -100,7 +178,7 @@ Result<bool> MaterializedOp::Next(Tuple* row) {
 
 // --- row transforms -----------------------------------------------------------
 
-Result<bool> FilterOp::Next(Tuple* row) {
+Result<bool> FilterOp::NextImpl(Tuple* row) {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -116,7 +194,7 @@ Result<bool> FilterOp::Next(Tuple* row) {
   }
 }
 
-Result<bool> ProjectOp::Next(Tuple* row) {
+Result<bool> ProjectOp::NextImpl(Tuple* row) {
   Tuple input;
   XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
   if (!more) return false;
@@ -129,7 +207,7 @@ Result<bool> ProjectOp::Next(Tuple* row) {
   return true;
 }
 
-Result<bool> DistinctOp::Next(Tuple* row) {
+Result<bool> DistinctOp::NextImpl(Tuple* row) {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -137,7 +215,7 @@ Result<bool> DistinctOp::Next(Tuple* row) {
   }
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   XNFDB_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   Tuple in;
@@ -161,13 +239,13 @@ Status SortOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> SortOp::Next(Tuple* row) {
+Result<bool> SortOp::NextImpl(Tuple* row) {
   if (pos_ >= rows_.size()) return false;
   *row = rows_[pos_++];
   return true;
 }
 
-Result<bool> LimitOp::Next(Tuple* row) {
+Result<bool> LimitOp::NextImpl(Tuple* row) {
   while (skipped_ < offset_) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -182,7 +260,7 @@ Result<bool> LimitOp::Next(Tuple* row) {
 
 // --- joins ---------------------------------------------------------------------
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   XNFDB_RETURN_IF_ERROR(left_->Open());
   XNFDB_RETURN_IF_ERROR(right_->Open());
   build_.clear();
@@ -207,7 +285,7 @@ Status HashJoinOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> HashJoinOp::Next(Tuple* row) {
+Result<bool> HashJoinOp::NextImpl(Tuple* row) {
   while (true) {
     if (matches_ != nullptr && match_pos_ < matches_->size()) {
       const Tuple& right_row = (*matches_)[match_pos_++];
@@ -245,7 +323,7 @@ Result<bool> HashJoinOp::Next(Tuple* row) {
   }
 }
 
-Status NLJoinOp::Open() {
+Status NLJoinOp::OpenImpl() {
   XNFDB_RETURN_IF_ERROR(left_->Open());
   XNFDB_RETURN_IF_ERROR(right_->Open());
   inner_.clear();
@@ -261,7 +339,7 @@ Status NLJoinOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> NLJoinOp::Next(Tuple* row) {
+Result<bool> NLJoinOp::NextImpl(Tuple* row) {
   while (true) {
     if (!left_valid_) {
       XNFDB_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
@@ -373,7 +451,7 @@ Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
   return false;
 }
 
-Result<bool> ExistsFilterOp::Next(Tuple* row) {
+Result<bool> ExistsFilterOp::NextImpl(Tuple* row) {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
@@ -403,13 +481,13 @@ Result<bool> ExistsFilterOp::Next(Tuple* row) {
 
 // --- set operations ---------------------------------------------------------------
 
-Status UnionOp::Open() {
+Status UnionOp::OpenImpl() {
   for (auto& c : children_) XNFDB_RETURN_IF_ERROR(c->Open());
   current_ = 0;
   return Status::Ok();
 }
 
-Result<bool> UnionOp::Next(Tuple* row) {
+Result<bool> UnionOp::NextImpl(Tuple* row) {
   while (current_ < children_.size()) {
     XNFDB_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(row));
     if (more) return true;
@@ -433,7 +511,7 @@ struct AggState {
 
 }  // namespace
 
-Status AggOp::Open() {
+Status AggOp::OpenImpl() {
   XNFDB_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   pos_ = 0;
@@ -530,7 +608,7 @@ Status AggOp::Open() {
   return Status::Ok();
 }
 
-Result<bool> AggOp::Next(Tuple* row) {
+Result<bool> AggOp::NextImpl(Tuple* row) {
   if (pos_ >= results_.size()) return false;
   *row = results_[pos_++];
   return true;
@@ -558,19 +636,19 @@ std::string RenderExprs(const std::vector<const qgm::Expr*>& exprs) {
 
 }  // namespace
 
-void ScanOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "Scan(" + table_->name() + ")", out);
+void ScanOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "Scan(" + table_->name() + ")", out);
 }
 
-void IndexScanOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth,
+void IndexScanOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth,
               "IndexScan(" + table_->name() + "." +
                   table_->schema().column(column_).name + " = " +
                   key_.ToString() + ")",
               out);
 }
 
-void RangeScanOp::Explain(int depth, std::string* out) const {
+void RangeScanOp::ExplainImpl(int depth, std::string* out) const {
   std::string range;
   if (lo_.has_value()) {
     range += lo_->ToString() + (lo_inclusive_ ? " <= " : " < ");
@@ -579,50 +657,50 @@ void RangeScanOp::Explain(int depth, std::string* out) const {
   if (hi_.has_value()) {
     range += (hi_inclusive_ ? " <= " : " < ") + hi_->ToString();
   }
-  ExplainLine(depth, "RangeScan(" + range + ")", out);
+  SelfLine(depth, "RangeScan(" + range + ")", out);
 }
 
-void MaterializedOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth,
+void MaterializedOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth,
               "SpoolRead(" + std::to_string(rows_->size()) + " rows)", out);
 }
 
-void FilterOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "Filter(" + RenderExprs(preds_) + ")", out);
+void FilterOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "Filter(" + RenderExprs(preds_) + ")", out);
   child_->Explain(depth + 1, out);
 }
 
-void ProjectOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "Project(" + std::to_string(exprs_.size()) + " cols)",
+void ProjectOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "Project(" + std::to_string(exprs_.size()) + " cols)",
               out);
   child_->Explain(depth + 1, out);
 }
 
-void DistinctOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "Distinct", out);
+void DistinctOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "Distinct", out);
   child_->Explain(depth + 1, out);
 }
 
-void SortOp::Explain(int depth, std::string* out) const {
+void SortOp::ExplainImpl(int depth, std::string* out) const {
   std::string keys;
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (i > 0) keys += ", ";
     keys += "#" + std::to_string(keys_[i].first) +
             (keys_[i].second ? " DESC" : "");
   }
-  ExplainLine(depth, "Sort(" + keys + ")", out);
+  SelfLine(depth, "Sort(" + keys + ")", out);
   child_->Explain(depth + 1, out);
 }
 
-void LimitOp::Explain(int depth, std::string* out) const {
+void LimitOp::ExplainImpl(int depth, std::string* out) const {
   std::string line = "Limit(" + std::to_string(limit_);
   if (offset_ > 0) line += " offset " + std::to_string(offset_);
   line += ")";
-  ExplainLine(depth, line, out);
+  SelfLine(depth, line, out);
   child_->Explain(depth + 1, out);
 }
 
-void HashJoinOp::Explain(int depth, std::string* out) const {
+void HashJoinOp::ExplainImpl(int depth, std::string* out) const {
   std::string keys;
   for (size_t i = 0; i < left_keys_.size(); ++i) {
     if (i > 0) keys += ", ";
@@ -631,24 +709,24 @@ void HashJoinOp::Explain(int depth, std::string* out) const {
   }
   std::string line = "HashJoin(" + keys + ")";
   if (!residual_.empty()) line += " residual(" + RenderExprs(residual_) + ")";
-  ExplainLine(depth, line, out);
+  SelfLine(depth, line, out);
   left_->Explain(depth + 1, out);
   right_->Explain(depth + 1, out);
 }
 
-void NLJoinOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "NestedLoopJoin(" + RenderExprs(preds_) + ")", out);
+void NLJoinOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "NestedLoopJoin(" + RenderExprs(preds_) + ")", out);
   left_->Explain(depth + 1, out);
   right_->Explain(depth + 1, out);
 }
 
-void ExistsFilterOp::Explain(int depth, std::string* out) const {
+void ExistsFilterOp::ExplainImpl(int depth, std::string* out) const {
   std::string line = "ExistsFilter(";
   line += std::to_string(groups_.size());
   line += disjunctive_ ? " group(s), ANY" : " group(s), ALL";
   if (naive_) line += ", naive";
   line += ")";
-  ExplainLine(depth, line, out);
+  SelfLine(depth, line, out);
   for (const GroupCheck& g : groups_) {
     ExplainLine(depth + 1,
                 std::string(g.negated ? "anti-" : "") + "group over " +
@@ -659,19 +737,19 @@ void ExistsFilterOp::Explain(int depth, std::string* out) const {
   child_->Explain(depth + 1, out);
 }
 
-void UnionOp::Explain(int depth, std::string* out) const {
-  ExplainLine(depth, "Union", out);
+void UnionOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "Union", out);
   for (const OperatorPtr& c : children_) c->Explain(depth + 1, out);
 }
 
-void AggOp::Explain(int depth, std::string* out) const {
+void AggOp::ExplainImpl(int depth, std::string* out) const {
   std::string aggs;
   for (const AggSpec& spec : specs_) {
     if (!spec.is_agg) continue;
     if (!aggs.empty()) aggs += ", ";
     aggs += spec.func;
   }
-  ExplainLine(depth,
+  SelfLine(depth,
               "Aggregate(" + std::to_string(group_by_.size()) +
                   " group col(s); " + aggs + ")",
               out);

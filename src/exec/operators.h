@@ -5,6 +5,11 @@
 // or more input streams and produces an output stream of tuples. Shared
 // common subexpressions are realized by Spool buffers: a producer is run
 // once and any number of readers iterate the materialized result.
+//
+// The public Open/Next/Close entry points are non-virtual wrappers that
+// maintain per-operator actuals (loop and row counts always; inclusive wall
+// time in analyze mode) for EXPLAIN ANALYZE; subclasses implement the
+// protected *Impl hooks.
 
 #ifndef XNFDB_EXEC_OPERATORS_H_
 #define XNFDB_EXEC_OPERATORS_H_
@@ -23,6 +28,10 @@
 #include "storage/table.h"
 
 namespace xnfdb {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 // A copyable atomic counter, so ExecStats can be both shared between
 // parallel workers (paper Sect. 5.1/6: parallel CO extraction) and returned
@@ -66,20 +75,58 @@ struct ExecStats {
   StatCounter operators_created;
 
   std::string ToString() const;
+  // Adds every counter into `registry` under `exec.<counter>` (the unified
+  // observability snapshot exposed by Database::MetricsJson).
+  void PublishTo(obs::MetricsRegistry* registry) const;
 };
 
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open() = 0;
+  // Non-virtual lifecycle entry points: delegate to the *Impl hooks while
+  // maintaining this operator's actuals.
+  Status Open();
   // Produces the next row into `*row`; returns false at end of stream.
-  virtual Result<bool> Next(Tuple* row) = 0;
-  virtual void Close() = 0;
+  Result<bool> Next(Tuple* row);
+  void Close();
 
   // Appends a one-line-per-operator rendering of this plan subtree to
-  // `out`, indented by `depth` (EXPLAIN support).
-  virtual void Explain(int depth, std::string* out) const = 0;
+  // `out`, indented by `depth` (EXPLAIN support). After an analyze-mode
+  // execution each line carries "(actual rows=.. loops=.. time=..ms)".
+  void Explain(int depth, std::string* out) const { ExplainImpl(depth, out); }
+
+  // Per-operator execution totals. `ns` is inclusive of children (time is
+  // measured around this operator's Next calls, which pull from children),
+  // and is only collected in analyze mode; rows/loops are always counted.
+  struct Actuals {
+    int64_t loops = 0;  // Open calls
+    int64_t rows = 0;   // rows produced, across all loops
+    int64_t ns = 0;     // inclusive wall time (analyze mode only)
+  };
+  const Actuals& actuals() const { return actuals_; }
+
+  // Enables wall-time measurement for this operator and its subtree
+  // (EXPLAIN ANALYZE).
+  void EnableAnalyze();
+  bool analyze_enabled() const { return analyze_; }
+
+  // Direct children of this operator in the plan tree.
+  virtual std::vector<Operator*> Children() { return {}; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Tuple* row) = 0;
+  virtual void CloseImpl() = 0;
+  virtual void ExplainImpl(int depth, std::string* out) const = 0;
+
+  // Appends this operator's own EXPLAIN line, annotated with actuals when
+  // analyze mode is on.
+  void SelfLine(int depth, const std::string& text, std::string* out) const;
+
+ private:
+  bool analyze_ = false;
+  Actuals actuals_;
 };
 
 // Explain helper: indented line.
@@ -97,14 +144,16 @@ class ScanOp : public Operator {
  public:
   ScanOp(const Table* table, ExecStats* stats)
       : table_(table), stats_(stats) {}
-  Status Open() override {
+
+ protected:
+  Status OpenImpl() override {
     rid_ = 0;
     return Status::Ok();
   }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {}
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {}
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   const Table* table_;
@@ -117,11 +166,13 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table* table, int column, Value key, ExecStats* stats)
       : table_(table), column_(column), key_(std::move(key)), stats_(stats) {}
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {}
 
-  void Explain(int depth, std::string* out) const override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {}
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   const Table* table_;
@@ -145,11 +196,13 @@ class RangeScanOp : public Operator {
         hi_(std::move(hi)),
         hi_inclusive_(hi_inclusive),
         stats_(stats) {}
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {}
 
-  void Explain(int depth, std::string* out) const override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {}
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   const Table* table_;
@@ -169,14 +222,16 @@ class MaterializedOp : public Operator {
   MaterializedOp(std::shared_ptr<const std::vector<Tuple>> rows,
                  ExecStats* stats)
       : rows_(std::move(rows)), stats_(stats) {}
-  Status Open() override {
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::Ok();
   }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {}
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {}
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   std::shared_ptr<const std::vector<Tuple>> rows_;
@@ -193,11 +248,15 @@ class FilterOp : public Operator {
       : child_(std::move(child)),
         preds_(std::move(preds)),
         layout_(std::move(layout)) {}
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
 
-  void Explain(int depth, std::string* out) const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;
@@ -212,11 +271,15 @@ class ProjectOp : public Operator {
       : child_(std::move(child)),
         exprs_(std::move(exprs)),
         layout_(std::move(layout)) {}
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
 
-  void Explain(int depth, std::string* out) const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;
@@ -227,14 +290,18 @@ class ProjectOp : public Operator {
 class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
-  Status Open() override {
+
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     seen_.clear();
     return child_->Open();
   }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;
@@ -245,11 +312,15 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<std::pair<int, bool>> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
 
-  void Explain(int depth, std::string* out) const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;
@@ -263,15 +334,19 @@ class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
       : child_(std::move(child)), limit_(limit), offset_(offset) {}
-  Status Open() override {
+
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     emitted_ = 0;
     skipped_ = 0;
     return child_->Open();
   }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;
@@ -302,14 +377,19 @@ class HashJoinOp : public Operator {
         combined_layout_(std::move(combined_layout)),
         stats_(stats) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {
+  std::vector<Operator*> Children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
   }
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr left_;
@@ -340,14 +420,19 @@ class NLJoinOp : public Operator {
         combined_layout_(std::move(combined_layout)),
         stats_(stats) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {
+  std::vector<Operator*> Children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
   }
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr left_;
@@ -403,11 +488,14 @@ class ExistsFilterOp : public Operator {
         naive_(naive),
         stats_(stats) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
 
-  void Explain(int depth, std::string* out) const override;
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   Result<bool> GroupMatches(GroupCheck* g, const Tuple& outer);
@@ -426,13 +514,22 @@ class UnionOp : public Operator {
  public:
   explicit UnionOp(std::vector<OperatorPtr> children)
       : children_(std::move(children)) {}
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override {
+
+  std::vector<Operator*> Children() override {
+    std::vector<Operator*> out;
+    out.reserve(children_.size());
+    for (const OperatorPtr& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override {
     for (auto& c : children_) c->Close();
   }
 
-  void Explain(int depth, std::string* out) const override;
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   std::vector<OperatorPtr> children_;
@@ -459,11 +556,14 @@ class AggOp : public Operator {
         specs_(std::move(specs)),
         layout_(std::move(layout)) {}
 
-  Status Open() override;
-  Result<bool> Next(Tuple* row) override;
-  void Close() override { child_->Close(); }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
 
-  void Explain(int depth, std::string* out) const override;
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { child_->Close(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   OperatorPtr child_;

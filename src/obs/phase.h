@@ -1,0 +1,49 @@
+// RAII scope for one query-lifecycle phase (parse, semantics, xnf_rewrite,
+// nf_rewrite, plan, execute, deliver): opens a tracing span named after the
+// phase and, on exit, observes the elapsed wall time into the
+// `phase.<name>.us` latency histogram. Both sinks are optional; a PhaseScope
+// with null tracer and null registry costs two clock reads.
+
+#ifndef XNFDB_OBS_PHASE_H_
+#define XNFDB_OBS_PHASE_H_
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xnfdb {
+namespace obs {
+
+class PhaseScope {
+ public:
+  PhaseScope(Tracer* tracer, MetricsRegistry* metrics, const std::string& name)
+      : metrics_(metrics),
+        name_(name),
+        t0_(std::chrono::steady_clock::now()) {
+    if (tracer != nullptr) span_ = tracer->StartSpan(name);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() {
+    span_.End();
+    if (metrics_ == nullptr) return;
+    int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+    metrics_->GetHistogram("phase." + name_ + ".us")->Observe(us);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+  Span span_;
+};
+
+}  // namespace obs
+}  // namespace xnfdb
+
+#endif  // XNFDB_OBS_PHASE_H_

@@ -43,20 +43,20 @@ bool ContainsAgg(const Expr& e) {
 
 // A single-empty-tuple source for quantifier-free boxes (SELECT 1).
 class OneRowOp : public Operator {
- public:
-  Status Open() override {
+ protected:
+  Status OpenImpl() override {
     done_ = false;
     return Status::Ok();
   }
-  Result<bool> Next(Tuple* row) override {
+  Result<bool> NextImpl(Tuple* row) override {
     if (done_) return false;
     row->clear();
     done_ = true;
     return true;
   }
-  void Close() override {}
-  void Explain(int depth, std::string* out) const override {
-    ExplainLine(depth, "OneRow", out);
+  void CloseImpl() override {}
+  void ExplainImpl(int depth, std::string* out) const override {
+    SelfLine(depth, "OneRow", out);
   }
 
  private:
@@ -73,10 +73,13 @@ Result<OperatorPtr> Planner::BoxIterator(int box_id) {
                 box->kind != BoxKind::kBaseTable;
   if (shared) {
     XNFDB_ASSIGN_OR_RETURN(auto rows, MaterializeBox(box_id));
-    return OperatorPtr(std::make_unique<MaterializedOp>(std::move(rows),
-                                                        stats_));
+    OperatorPtr op = std::make_unique<MaterializedOp>(std::move(rows), stats_);
+    if (options_.analyze) op->EnableAnalyze();
+    return op;
   }
-  return CompileBox(box_id);
+  XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, CompileBox(box_id));
+  if (options_.analyze) op->EnableAnalyze();
+  return op;
 }
 
 Result<std::shared_ptr<const std::vector<Tuple>>> Planner::MaterializeBox(

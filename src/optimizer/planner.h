@@ -32,6 +32,9 @@ struct PlanOptions {
   bool use_hash_join = true;  // false => nested-loop joins only
   bool naive_exists = false;  // per-outer-row subquery scans (Sect. 3.2 naive)
   bool spool_shared = true;   // false => recompute shared boxes per consumer
+  // EXPLAIN ANALYZE: operators returned by BoxIterator measure inclusive
+  // wall time per Next call (row/loop counting is always on).
+  bool analyze = false;
 };
 
 // Compiles boxes of one QueryGraph into operators. The planner owns the

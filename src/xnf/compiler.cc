@@ -1,5 +1,6 @@
 #include "xnf/compiler.h"
 
+#include "obs/phase.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
 
@@ -9,8 +10,12 @@ Result<CompiledQuery> CompileSelect(const Catalog& catalog,
                                     const ast::SelectStmt& select,
                                     const CompileOptions& options) {
   CompiledQuery out;
-  XNFDB_ASSIGN_OR_RETURN(out.graph, BuildSelect(catalog, select));
+  {
+    obs::PhaseScope phase(options.tracer, options.metrics, "semantics");
+    XNFDB_ASSIGN_OR_RETURN(out.graph, BuildSelect(catalog, select));
+  }
   if (options.run_nf_rewrite) {
+    obs::PhaseScope phase(options.tracer, options.metrics, "nf_rewrite");
     RuleEngine engine(MakeNfRules(options.nf));
     XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
   }
@@ -21,13 +26,20 @@ Result<CompiledQuery> CompileXnf(const Catalog& catalog,
                                  const ast::XnfQuery& query,
                                  const CompileOptions& options) {
   CompiledQuery out;
-  XNFDB_ASSIGN_OR_RETURN(out.graph, BuildXnf(catalog, query));
+  {
+    obs::PhaseScope phase(options.tracer, options.metrics, "semantics");
+    XNFDB_ASSIGN_OR_RETURN(out.graph, BuildXnf(catalog, query));
+  }
   if (XnfHasCycle(*out.graph)) {
     out.needs_fixpoint = true;
     return out;
   }
-  XNFDB_RETURN_IF_ERROR(XnfSemanticRewrite(out.graph.get(), options.xnf));
+  {
+    obs::PhaseScope phase(options.tracer, options.metrics, "xnf_rewrite");
+    XNFDB_RETURN_IF_ERROR(XnfSemanticRewrite(out.graph.get(), options.xnf));
+  }
   if (options.run_nf_rewrite) {
+    obs::PhaseScope phase(options.tracer, options.metrics, "nf_rewrite");
     RuleEngine engine(MakeNfRules(options.nf));
     XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
   }
@@ -49,16 +61,26 @@ Result<CompiledQuery> CompileQueryString(const Catalog& catalog,
   if (is_ident && catalog.HasView(trimmed)) {
     XNFDB_ASSIGN_OR_RETURN(const ViewDef* view, catalog.GetView(trimmed));
     if (view->is_xnf) {
-      XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::XnfQuery> q,
-                             ParseXnfQuery(view->definition));
+      std::unique_ptr<ast::XnfQuery> q;
+      {
+        obs::PhaseScope phase(options.tracer, options.metrics, "parse");
+        XNFDB_ASSIGN_OR_RETURN(q, ParseXnfQuery(view->definition));
+      }
       return CompileXnf(catalog, *q, options);
     }
-    XNFDB_ASSIGN_OR_RETURN(std::unique_ptr<ast::SelectStmt> s,
-                           ParseSelectQuery(view->definition));
+    std::unique_ptr<ast::SelectStmt> s;
+    {
+      obs::PhaseScope phase(options.tracer, options.metrics, "parse");
+      XNFDB_ASSIGN_OR_RETURN(s, ParseSelectQuery(view->definition));
+    }
     return CompileSelect(catalog, *s, options);
   }
 
-  XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatement(text));
+  ast::StatementPtr stmt;
+  {
+    obs::PhaseScope phase(options.tracer, options.metrics, "parse");
+    XNFDB_ASSIGN_OR_RETURN(stmt, ParseStatement(text));
+  }
   switch (stmt->kind) {
     case ast::Statement::Kind::kSelect:
       return CompileSelect(

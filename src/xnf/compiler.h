@@ -9,6 +9,8 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/ast.h"
 #include "qgm/qgm.h"
 #include "rewrite/nf_rules.h"
@@ -22,6 +24,11 @@ struct CompileOptions {
   XnfRewriteOptions xnf;
   NfRewriteOptions nf;
   bool run_nf_rewrite = true;  // false: stop after XNF semantic rewrite
+  // Observability sinks; both optional. When set, the compiler records
+  // parse / semantics / xnf_rewrite / nf_rewrite spans and the matching
+  // `phase.<name>.us` latency histograms.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CompiledQuery {

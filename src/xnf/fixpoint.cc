@@ -254,6 +254,7 @@ Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
     }
   }
 
+  if (options.metrics != nullptr) result.stats.PublishTo(options.metrics);
   return result;
 }
 

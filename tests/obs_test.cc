@@ -1,0 +1,254 @@
+// Tests of the observability layer (src/obs): histogram bucket boundaries
+// and merging, registry snapshot/reset under concurrent increments, span
+// nesting/ordering, and the exposition formats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
+
+namespace xnfdb {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpperBounds) {
+  Histogram h({10, 20});
+  for (int64_t v : {5, 10, 11, 20, 21, 1000}) h.Observe(v);
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(s.buckets[0], 2);       // 5, 10
+  EXPECT_EQ(s.buckets[1], 2);       // 11, 20
+  EXPECT_EQ(s.buckets[2], 2);       // 21, 1000
+  EXPECT_EQ(s.count, 6);
+  EXPECT_EQ(s.sum, 5 + 10 + 11 + 20 + 21 + 1000);
+}
+
+TEST(HistogramTest, ZeroAndNegativeLandInFirstBucket) {
+  Histogram h({10});
+  h.Observe(0);
+  h.Observe(-5);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.buckets[0], 2);
+  EXPECT_EQ(s.buckets[1], 0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsOfMatchingShape) {
+  Histogram a({10, 20}), b({10, 20});
+  a.Observe(5);
+  a.Observe(15);
+  b.Observe(15);
+  b.Observe(100);
+  HistogramSnapshot s = a.Snapshot();
+  s.Merge(b.Snapshot());
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.sum, 5 + 15 + 15 + 100);
+  EXPECT_EQ(s.buckets[0], 1);
+  EXPECT_EQ(s.buckets[1], 2);
+  EXPECT_EQ(s.buckets[2], 1);
+}
+
+TEST(HistogramTest, MergeIgnoresIncompatibleShapes) {
+  Histogram a({10}), b({10, 20});
+  a.Observe(1);
+  b.Observe(1);
+  HistogramSnapshot s = a.Snapshot();
+  s.Merge(b.Snapshot());
+  EXPECT_EQ(s.count, 1);  // unchanged: merging would misattribute counts
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsOther) {
+  Histogram b({10, 20});
+  b.Observe(15);
+  HistogramSnapshot s;
+  s.Merge(b.Snapshot());
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.bounds, std::vector<int64_t>({10, 20}));
+}
+
+TEST(HistogramTest, QuantileReportsSmallestCoveringBound) {
+  Histogram h({1, 10, 100});
+  for (int i = 0; i < 98; ++i) h.Observe(5);   // bucket le=10
+  h.Observe(50);                               // bucket le=100
+  h.Observe(1000);                             // overflow
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.5), 10);
+  EXPECT_EQ(s.Quantile(0.98), 10);
+  EXPECT_EQ(s.Quantile(0.99), 100);
+  EXPECT_EQ(s.Quantile(1.0), 101);  // overflow reports last bound + 1
+  EXPECT_EQ(HistogramSnapshot().Quantile(0.5), 0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("x.count");
+  Counter* c2 = reg.GetCounter("x.count");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(reg.Snapshot().counters.at("x.count"), 3);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndResetUnderConcurrentIncrements) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("t.counter");
+  Histogram* h = reg.GetHistogram("t.hist", {10, 100});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(i % 200);
+      }
+    });
+  }
+  go.store(true);
+  // Interleaved snapshots must see monotonically plausible values, never
+  // torn ones.
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = reg.Snapshot();
+    int64_t v = snap.counters.at("t.counter");
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, int64_t{kThreads} * kPerThread);
+  }
+  for (auto& t : threads) t.join();
+  MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("t.counter"),
+            int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(final_snap.histograms.at("t.hist").count,
+            int64_t{kThreads} * kPerThread);
+
+  reg.Reset();
+  EXPECT_EQ(reg.Snapshot().counters.at("t.counter"), 0);
+  c->Increment();  // handle survives Reset
+  EXPECT_EQ(reg.Snapshot().counters.at("t.counter"), 1);
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.count")->Increment(3);
+  reg.GetGauge("g.value")->Set(7);
+  reg.GetHistogram("h.us", {1, 10})->Observe(5);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.value\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.us\":{\"count\":1,\"sum\":5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.count")->Increment(3);
+  reg.GetHistogram("h.us", {1, 10})->Observe(5);
+  reg.GetHistogram("h.us")->Observe(20);
+  std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE a_count counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("a_count 3"), std::string::npos) << prom;
+  // Cumulative buckets: le=10 has 1, +Inf has 2.
+  EXPECT_NE(prom.find("h_us_bucket{le=\"10\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("h_us_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("h_us_count 2"), std::string::npos) << prom;
+}
+
+TEST(TracerTest, SpansNestAndCloseInLifoOrder) {
+  Tracer tracer(true);
+  {
+    Span outer = tracer.StartSpan("outer");
+    {
+      Span inner = tracer.StartSpan("inner");
+    }
+  }
+  std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner ends first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[1].parent_id, 0);
+  EXPECT_GE(spans[1].dur_us, spans[0].dur_us);
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+}
+
+TEST(TracerTest, SiblingsShareAParent) {
+  Tracer tracer(true);
+  {
+    Span parent = tracer.StartSpan("parent");
+    { Span a = tracer.StartSpan("a"); }
+    { Span b = tracer.StartSpan("b"); }
+  }
+  std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+}
+
+TEST(TracerTest, NestingIsPerThread) {
+  Tracer tracer(true);
+  Span root = tracer.StartSpan("root");
+  std::thread worker([&] {
+    // A span on another thread must not adopt this thread's open span.
+    Span s = tracer.StartSpan("worker");
+  });
+  worker.join();
+  root.End();
+  std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "worker");
+  EXPECT_EQ(spans[0].parent_id, 0);
+}
+
+TEST(TracerTest, DisabledTracerCollectsNothing) {
+  Tracer tracer(false);
+  {
+    Span s = tracer.StartSpan("ignored");
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_TRUE(tracer.Spans().empty());
+}
+
+TEST(TracerTest, EndIsIdempotentAndMovesTransferOwnership) {
+  Tracer tracer(true);
+  Span a = tracer.StartSpan("moved");
+  Span b = std::move(a);
+  b.End();
+  b.End();
+  EXPECT_EQ(tracer.Spans().size(), 1u);
+}
+
+TEST(TracerTest, ChromeTraceJsonRendersCompleteEvents) {
+  Tracer tracer(true);
+  { Span s = tracer.StartSpan("phase \"x\""); }
+  std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("phase \\\"x\\\""), std::string::npos) << json;
+}
+
+TEST(PhaseScopeTest, RecordsSpanAndLatencyHistogram) {
+  Tracer tracer(true);
+  MetricsRegistry reg;
+  {
+    PhaseScope scope(&tracer, &reg, "parse");
+  }
+  ASSERT_EQ(tracer.Spans().size(), 1u);
+  EXPECT_EQ(tracer.Spans()[0].name, "parse");
+  EXPECT_EQ(reg.Snapshot().histograms.at("phase.parse.us").count, 1);
+}
+
+TEST(PhaseScopeTest, NullSinksAreNoOps) {
+  PhaseScope scope(nullptr, nullptr, "quiet");  // must not crash
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xnfdb

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <set>
+#include <string>
 
 #include "api/database.h"
 #include "tests/paper_db.h"
@@ -69,6 +70,34 @@ TEST(ParallelTest, SharedSubexpressionsBuiltOnceUnderParallelism) {
             s.value().stats.spool_builds.load());
   EXPECT_EQ(r.value().stats.rows_scanned.load(),
             s.value().stats.rows_scanned.load());
+}
+
+TEST(ParallelTest, StatsAreConsistentSnapshotsAcrossWorkerCounts) {
+  // The executor copies its private ExecStats into the result only after
+  // every worker joined, so parallel runs must report exactly the
+  // sequential counters — for every counter, not just spool builds.
+  Database db;
+  ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  Result<QueryResult> seq =
+      db.Query(testing_util::kDepsArcQuery, {}, ExecOptions{});
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  const ExecStats& a = seq.value().stats;
+  for (int workers : {2, 4, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExecOptions par;
+    par.parallel_workers = workers;
+    Result<QueryResult> r = db.Query(testing_util::kDepsArcQuery, {}, par);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const ExecStats& b = r.value().stats;
+    EXPECT_EQ(a.rows_scanned.load(), b.rows_scanned.load());
+    EXPECT_EQ(a.index_lookups.load(), b.index_lookups.load());
+    EXPECT_EQ(a.join_probes.load(), b.join_probes.load());
+    EXPECT_EQ(a.exists_probes.load(), b.exists_probes.load());
+    EXPECT_EQ(a.spool_builds.load(), b.spool_builds.load());
+    EXPECT_EQ(a.spool_read_rows.load(), b.spool_read_rows.load());
+    EXPECT_EQ(a.rows_output.load(), b.rows_output.load());
+    EXPECT_EQ(a.operators_created.load(), b.operators_created.load());
+  }
 }
 
 TEST(ParallelTest, ParallelSqlQueryUnaffected) {

@@ -6,6 +6,7 @@
 
 #include "cache/writeback.h"
 #include "cache/xnf_cache.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "tests/paper_db.h"
 
@@ -172,6 +173,56 @@ TEST_F(WriteBackTest, DisconnectThenWriteBackDeletesConnectRow) {
       "SELECT ESSNO FROM EMPSKILLS WHERE ESENO = 10");
   ASSERT_TRUE(check.ok());
   EXPECT_TRUE(check.value().rows().empty());
+}
+
+// Injected transient failures used to be invisible to callers; now every
+// retry and every exhausted operation lands in the process-wide registry.
+TEST_F(WriteBackTest, TransientRetriesAreCountedAsMetrics) {
+  cache_ = XNFCache::Evaluate(&db_, "OUT OF x AS EMP TAKE *").value();
+  CachedRow* row = cache_->workspace().component("X").value()->FindByValue(
+      0, Value(int64_t{10}));
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(cache_->Update(row, "SAL", Value(95000.0)).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const int64_t retries_before = reg.GetCounter("writeback.retries")->value();
+  const int64_t failures_before =
+      reg.GetCounter("writeback.failures")->value();
+
+  db_.InjectTransientFailures(2);
+  WriteBackOptions options;
+  options.backoff_initial_ms = 0;
+  Result<std::vector<std::string>> stmts = cache_->WriteBack(options);
+  ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+
+  EXPECT_EQ(reg.GetCounter("writeback.retries")->value() - retries_before, 2);
+  EXPECT_EQ(reg.GetCounter("writeback.failures")->value() - failures_before,
+            0);
+}
+
+TEST_F(WriteBackTest, ExhaustedRetriesCountAsFailure) {
+  cache_ = XNFCache::Evaluate(&db_, "OUT OF x AS EMP TAKE *").value();
+  CachedRow* row = cache_->workspace().component("X").value()->FindByValue(
+      0, Value(int64_t{10}));
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(cache_->Update(row, "SAL", Value(96000.0)).ok());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const int64_t retries_before = reg.GetCounter("writeback.retries")->value();
+  const int64_t failures_before =
+      reg.GetCounter("writeback.failures")->value();
+
+  db_.InjectTransientFailures(100);
+  WriteBackOptions options;
+  options.backoff_initial_ms = 0;
+  options.max_retries = 2;
+  Result<std::vector<std::string>> stmts = cache_->WriteBack(options);
+  ASSERT_FALSE(stmts.ok());
+  db_.InjectTransientFailures(0);
+
+  EXPECT_EQ(reg.GetCounter("writeback.retries")->value() - retries_before, 2);
+  EXPECT_EQ(reg.GetCounter("writeback.failures")->value() - failures_before,
+            1);
 }
 
 }  // namespace
