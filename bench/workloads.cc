@@ -1,5 +1,6 @@
 #include "bench/workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -10,6 +11,13 @@
 
 namespace xnfdb {
 namespace bench {
+
+namespace {
+// Captured at binary load so BENCH_*.json's elapsed_us covers the whole
+// bench run (setup + sweep), not just the final snapshot write.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+}  // namespace
 
 void CheckOk(const Status& status, const std::string& what) {
   if (!status.ok()) {
@@ -30,8 +38,12 @@ void WriteBenchJson(const std::string& name,
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
     return;
   }
-  out << "{\"bench\":\"" << name << "\",\"smoke\":"
-      << (SmokeMode() ? "true" : "false") << ",\"results\":" << results_json
+  int64_t elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - kProcessStart)
+                           .count();
+  out << "{\"schema_version\":2,\"bench\":\"" << name << "\",\"smoke\":"
+      << (SmokeMode() ? "true" : "false") << ",\"elapsed_us\":" << elapsed_us
+      << ",\"results\":" << results_json
       << ",\"metrics\":" << obs::MetricsRegistry::Default().ToJson() << "}\n";
 }
 

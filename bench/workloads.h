@@ -64,7 +64,9 @@ void CheckOk(const Status& status, const std::string& what);
 // When XNFDB_BENCH_JSON_DIR is set, writes <dir>/BENCH_<name>.json holding
 // the bench's own numbers (`results_json`, a JSON object literal) plus the
 // process-wide metrics snapshot, so perf runs land as machine-readable
-// artifacts. No-op when the variable is unset.
+// artifacts. Every snapshot carries "schema_version" (bump on layout
+// changes) and "elapsed_us", the bench binary's wall-clock time from load
+// to snapshot. No-op when the variable is unset.
 void WriteBenchJson(const std::string& name,
                     const std::string& results_json = "{}");
 

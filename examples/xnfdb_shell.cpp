@@ -5,8 +5,11 @@
 //   .help               this text
 //   .tables             list tables and views
 //   .explain <query>    show rewrite stats, op counts and physical plan
-//   .analyze <query>    EXPLAIN ANALYZE: plan with actual rows/loops/time
+//   .analyze <query>    EXPLAIN ANALYZE: plan with actual rows/loops/time,
+//                       plus a one-line per-phase wall-time footer
 //   .metrics            process-wide metrics snapshot as JSON
+//   .metrics table      the same snapshot, pretty-printed as a table
+//   .slowlog <us>       arm the slow-query log (.slowlog off disarms)
 //   .dot <query>        emit the query graph in Graphviz DOT
 //   .save <file>        persist the database
 //   .open <file>        load a database (into an empty shell)
@@ -15,7 +18,9 @@
 // Run:  ./build/examples/xnfdb_shell          (interactive)
 //       ./build/examples/xnfdb_shell < script.sql
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -96,6 +101,53 @@ bool IsQueryText(const std::string& text) {
   return upper.rfind("SELECT", 0) == 0 || upper.rfind("OUT", 0) == 0;
 }
 
+// `.metrics table`: the registry snapshot as aligned NAME / KIND / VALUE
+// rows; histograms show count/sum/p50/p99 instead of raw buckets.
+void PrintMetricsTable(const xnfdb::obs::MetricsSnapshot& snap) {
+  size_t width = 4;  // "NAME"
+  for (const auto& [name, v] : snap.counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.gauges) width = std::max(width, name.size());
+  for (const auto& [name, h] : snap.histograms) width = std::max(width, name.size());
+  std::printf("%-*s  %-9s  %s\n", static_cast<int>(width), "NAME", "KIND",
+              "VALUE");
+  for (const auto& [name, v] : snap.counters) {
+    std::printf("%-*s  %-9s  %lld\n", static_cast<int>(width), name.c_str(),
+                "counter", static_cast<long long>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::printf("%-*s  %-9s  %lld\n", static_cast<int>(width), name.c_str(),
+                "gauge", static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("%-*s  %-9s  count=%lld sum=%lld p50=%lld p99=%lld\n",
+                static_cast<int>(width), name.c_str(), "histogram",
+                static_cast<long long>(h.count), static_cast<long long>(h.sum),
+                static_cast<long long>(h.Quantile(0.5)),
+                static_cast<long long>(h.Quantile(0.99)));
+  }
+}
+
+// One-line per-phase footer for `.analyze`: the delta of every
+// `phase.<name>.us` histogram sum across the analyzed run.
+void PrintPhaseFooter(const xnfdb::obs::MetricsSnapshot& before,
+                      const xnfdb::obs::MetricsSnapshot& after) {
+  std::printf("phases:");
+  bool any = false;
+  for (const auto& [name, h] : after.histograms) {
+    if (name.rfind("phase.", 0) != 0) continue;
+    int64_t prev = 0;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) prev = it->second.sum;
+    int64_t delta = h.sum - prev;
+    if (delta <= 0) continue;
+    // phase.<name>.us -> <name>
+    std::string phase = name.substr(6, name.size() - 6 - 3);
+    std::printf(" %s=%lldus", phase.c_str(), static_cast<long long>(delta));
+    any = true;
+  }
+  std::printf(any ? "\n" : " (none recorded)\n");
+}
+
 }  // namespace
 
 int main() {
@@ -120,8 +172,10 @@ int main() {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         std::printf(
-            ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics | "
-            ".save <f> | .open <f> | .quit\nStatements end with ';'.\n");
+            ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics "
+            "[table] | .slowlog <us>|off | .save <f> | .open <f> | .quit\n"
+            "Statements end with ';'. System views: sys$metrics, "
+            "sys$histograms, sys$statements, sys$cache, sys$tables.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -130,16 +184,35 @@ int main() {
           std::printf("view  %s%s\n", view->name.c_str(),
                       view->is_xnf ? " (XNF)" : "");
         }
+        for (const xnfdb::VirtualTableProvider* v :
+             db.catalog().VirtualTables()) {
+          std::printf("sys   %s\n", v->name().c_str());
+        }
       } else if (cmd == ".explain") {
         auto plan = db.Explain(arg);
         std::printf("%s\n", plan.ok() ? plan.value().c_str()
                                       : plan.status().ToString().c_str());
       } else if (cmd == ".analyze") {
+        xnfdb::obs::MetricsSnapshot before = db.metrics().Snapshot();
         auto plan = db.Explain(arg, Database::ExplainOptions{true});
         std::printf("%s\n", plan.ok() ? plan.value().c_str()
                                       : plan.status().ToString().c_str());
+        if (plan.ok()) PrintPhaseFooter(before, db.metrics().Snapshot());
       } else if (cmd == ".metrics") {
-        std::printf("%s\n", db.MetricsJson().c_str());
+        if (arg == "table") {
+          PrintMetricsTable(db.metrics().Snapshot());
+        } else {
+          std::printf("%s\n", db.MetricsJson().c_str());
+        }
+      } else if (cmd == ".slowlog") {
+        if (arg == "off" || arg.empty()) {
+          db.SetSlowQueryThreshold(-1);
+          std::printf("slow-query log off\n");
+        } else {
+          db.SetSlowQueryThreshold(std::atoll(arg.c_str()));
+          std::printf("slow-query log armed at %lldus\n",
+                      static_cast<long long>(db.slow_query_threshold_us()));
+        }
       } else if (cmd == ".dot") {
         auto compiled = xnfdb::CompileQueryString(db.catalog(), arg);
         if (!compiled.ok()) {

@@ -28,14 +28,27 @@ if [ "$SMOKE" = 1 ]; then
   export XNFDB_BENCH_SMOKE=1
 fi
 
+# Run every bench even if one crashes; collect failures and exit non-zero
+# at the end so CI flags the run while still producing the surviving
+# BENCH_*.json artifacts.
+FAILED=()
 for bench in "${BENCHES[@]}"; do
   echo "== $bench =="
   extra_args=()
   if [ "$bench" = bench_cache_traversal ] && [ "$SMOKE" = 1 ]; then
     extra_args+=(--benchmark_min_time=0.05s)
   fi
-  "build/bench/$bench" "${extra_args[@]}"
+  status=0
+  "build/bench/$bench" "${extra_args[@]}" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "bench: $bench FAILED (exit $status)" >&2
+    FAILED+=("$bench")
+  fi
   echo
 done
 
-echo "bench: wrote $(ls BENCH_*.json | wc -l) BENCH_*.json snapshots"
+echo "bench: wrote $(ls BENCH_*.json 2>/dev/null | wc -l) BENCH_*.json snapshots"
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo "bench: ${#FAILED[@]} bench(es) failed: ${FAILED[*]}" >&2
+  exit 1
+fi

@@ -1,12 +1,15 @@
 #include "api/database.h"
 
+#include <chrono>
 #include <fstream>
 #include <vector>
 
+#include "common/log.h"
 #include "exec/expr_eval.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
 #include "storage/persist.h"
+#include "storage/sysview.h"
 #include "xnf/fixpoint.h"
 #include "xnf/op_count.h"
 
@@ -90,7 +93,34 @@ Result<Value> EvalLiteralExpr(const ast::Expr& e) {
   }
 }
 
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* StatementKindTag(const ast::Statement& stmt) {
+  using Kind = ast::Statement::Kind;
+  switch (stmt.kind) {
+    case Kind::kSelect:
+    case Kind::kXnfQuery:
+      return "query";
+    case Kind::kInsert:
+    case Kind::kUpdate:
+    case Kind::kDelete:
+      return "dml";
+    default:
+      return "ddl";
+  }
+}
+
 }  // namespace
+
+Database::Database(Env* env) : env_(env) {
+  // The catalog is empty at this point, so name collisions are impossible.
+  Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_);
+  (void)registered;
+}
 
 Database::~Database() {
   // Trace dump is best-effort diagnostics; it bypasses the Env (and thus
@@ -113,7 +143,50 @@ ExecOptions Database::WithObs(const ExecOptions& eopts) {
   ExecOptions eo = eopts;
   if (eo.tracer == nullptr) eo.tracer = &tracer_;
   if (eo.metrics == nullptr) eo.metrics = metrics_;
+  // While the slow-query log is armed, run in analyze mode so a slow
+  // statement's plan (with actuals) is already captured — no re-execution.
+  if (slow_query_threshold_us_ >= 0) eo.analyze = true;
   return eo;
+}
+
+void Database::RecordStatement(const Fingerprint& fp, const char* kind,
+                               bool ok, int64_t rows, int64_t total_us,
+                               int64_t compile_us, int64_t execute_us,
+                               const std::vector<std::string>* plan_texts) {
+  statements_.Record(fp.digest, fp.text, kind, ok, rows, total_us);
+  if (slow_query_threshold_us_ < 0 || total_us <= slow_query_threshold_us_) {
+    return;
+  }
+  std::string plan;
+  if (plan_texts != nullptr) {
+    for (const std::string& p : *plan_texts) plan += p;
+  }
+  Logger::Default().Log(
+      LogLevel::kWarn, "slowlog", "slow statement",
+      {LogField::S("digest", obs::DigestHex(fp.digest)),
+       LogField::S("kind", kind), LogField::S("text", fp.text),
+       LogField::N("total_us", total_us),
+       LogField::N("compile_us", compile_us),
+       LogField::N("execute_us", execute_us), LogField::N("rows", rows),
+       LogField::S("plan", plan)});
+}
+
+Status Database::RunTimed(const ast::Statement& stmt, Outcome* outcome) {
+  Fingerprint fp = FingerprintStatement(stmt);
+  int64_t t0 = NowUs();
+  Status status = RunStatement(stmt, outcome);
+  int64_t total_us = NowUs() - t0;
+  int64_t rows = 0;
+  const std::vector<std::string>* plans = nullptr;
+  if (outcome->kind == Outcome::Kind::kRows) {
+    rows = outcome->result.stats.rows_output;
+    plans = &outcome->result.plan_texts;
+  } else if (outcome->kind == Outcome::Kind::kAffected) {
+    rows = static_cast<int64_t>(outcome->affected);
+  }
+  RecordStatement(fp, StatementKindTag(stmt), status.ok(), rows, total_us,
+                  outcome->compile_us, outcome->execute_us, plans);
+  return status;
 }
 
 Result<Database::Outcome> Database::Execute(const std::string& sql) {
@@ -124,7 +197,7 @@ Result<Database::Outcome> Database::Execute(const std::string& sql) {
   }
   XNFDB_ASSIGN_OR_RETURN(ast::StatementPtr stmt, ParseStatement(sql));
   Outcome outcome;
-  XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
+  XNFDB_RETURN_IF_ERROR(RunTimed(*stmt, &outcome));
   return outcome;
 }
 
@@ -134,7 +207,7 @@ Result<size_t> Database::ExecuteScript(const std::string& script) {
                          ParseScript(script));
   for (const ast::StatementPtr& stmt : stmts) {
     Outcome outcome;
-    XNFDB_RETURN_IF_ERROR(RunStatement(*stmt, &outcome));
+    XNFDB_RETURN_IF_ERROR(RunTimed(*stmt, &outcome));
   }
   return stmts.size();
 }
@@ -152,12 +225,21 @@ Result<QueryResult> Database::Query(const std::string& text,
                                     const ExecOptions& eopts) {
   CountServerCall();
   obs::Span query_span = tracer_.StartSpan("query");
+  int64_t t0 = NowUs();
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileQueryString(catalog_, text, WithObs(copts)));
-  if (compiled.needs_fixpoint) {
-    return ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts));
-  }
-  return ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  int64_t t1 = NowUs();
+  Result<QueryResult> result =
+      compiled.needs_fixpoint
+          ? ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts))
+          : ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  int64_t t2 = NowUs();
+  Fingerprint fp{compiled.normalized_text, compiled.digest};
+  RecordStatement(fp, "query", result.ok(),
+                  result.ok() ? int64_t{result.value().stats.rows_output} : 0,
+                  t2 - t0, t1 - t0, t2 - t1,
+                  result.ok() ? &result.value().plan_texts : nullptr);
+  return result;
 }
 
 Result<std::string> Database::Explain(const std::string& text,
@@ -217,12 +299,21 @@ Result<QueryResult> Database::QueryXnf(const ast::XnfQuery& query,
                                        const ExecOptions& eopts) {
   CountServerCall();
   obs::Span query_span = tracer_.StartSpan("query");
+  int64_t t0 = NowUs();
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileXnf(catalog_, query, WithObs(copts)));
-  if (compiled.needs_fixpoint) {
-    return ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts));
-  }
-  return ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  int64_t t1 = NowUs();
+  Result<QueryResult> result =
+      compiled.needs_fixpoint
+          ? ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts))
+          : ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  int64_t t2 = NowUs();
+  Fingerprint fp{compiled.normalized_text, compiled.digest};
+  RecordStatement(fp, "query", result.ok(),
+                  result.ok() ? int64_t{result.value().stats.rows_output} : 0,
+                  t2 - t0, t1 - t0, t2 - t1,
+                  result.ok() ? &result.value().plan_texts : nullptr);
+  return result;
 }
 
 Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
@@ -230,20 +321,26 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
   switch (stmt.kind) {
     case Kind::kSelect: {
       const auto& s = static_cast<const ast::SelectStatement&>(stmt);
+      int64_t t0 = NowUs();
       XNFDB_ASSIGN_OR_RETURN(
           CompiledQuery compiled,
           CompileSelect(catalog_, *s.select, WithObs(CompileOptions())));
+      int64_t t1 = NowUs();
       XNFDB_ASSIGN_OR_RETURN(
           outcome->result,
           ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
+      outcome->compile_us = t1 - t0;
+      outcome->execute_us = NowUs() - t1;
       outcome->kind = Outcome::Kind::kRows;
       return Status::Ok();
     }
     case Kind::kXnfQuery: {
       const auto& s = static_cast<const ast::XnfStatement&>(stmt);
+      int64_t t0 = NowUs();
       XNFDB_ASSIGN_OR_RETURN(
           CompiledQuery compiled,
           CompileXnf(catalog_, *s.query, WithObs(CompileOptions())));
+      int64_t t1 = NowUs();
       if (compiled.needs_fixpoint) {
         XNFDB_ASSIGN_OR_RETURN(
             outcome->result,
@@ -254,6 +351,8 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
             outcome->result,
             ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
       }
+      outcome->compile_us = t1 - t0;
+      outcome->execute_us = NowUs() - t1;
       outcome->kind = Outcome::Kind::kRows;
       return Status::Ok();
     }

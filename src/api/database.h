@@ -18,8 +18,10 @@
 #include "common/status.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/statement_stats.h"
 #include "obs/trace.h"
 #include "parser/ast.h"
+#include "parser/fingerprint.h"
 #include "storage/catalog.h"
 #include "xnf/compiler.h"
 
@@ -29,8 +31,10 @@ class Database {
  public:
   Database() : Database(Env::Default()) {}
   // All of this database's durable I/O (SaveTo/LoadFrom) goes through
-  // `env`; pass a FaultInjectionEnv to exercise failure paths.
-  explicit Database(Env* env) : env_(env) {}
+  // `env`; pass a FaultInjectionEnv to exercise failure paths. The
+  // constructor registers the sys$ system views (storage/sysview.h) on the
+  // fresh catalog.
+  explicit Database(Env* env);
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
   // Dumps the collected trace to the XNFDB_TRACE path, when tracing is on.
@@ -47,6 +51,9 @@ class Database {
     Kind kind = Kind::kNone;
     QueryResult result;   // kRows
     size_t affected = 0;  // kAffected (rows inserted/updated/deleted)
+    // Phase wall times for the statement (queries only; 0 for DML/DDL).
+    int64_t compile_us = 0;
+    int64_t execute_us = 0;
   };
 
   // Parses and executes a single statement of any kind.
@@ -100,6 +107,21 @@ class Database {
     return metrics_->ToPrometheusText();
   }
 
+  // Per-statement-shape statistics (the store behind sys$statements):
+  // every Execute/Query/QueryXnf fingerprints its statement and
+  // accumulates calls, errors, rows and latency quantiles per digest.
+  const obs::StatementStore& statement_stats() const { return statements_; }
+  obs::StatementStore& statement_stats() { return statements_; }
+
+  // Slow-query log: any statement whose total wall time exceeds the
+  // threshold emits one JSON line on the "slowlog" channel of
+  // Logger::Default(), carrying the normalized text, phase timings, and
+  // (for queries) the EXPLAIN ANALYZE plan. While armed, query execution
+  // runs in analyze mode so the plan is captured without a re-run.
+  // Negative (the default) disarms.
+  void SetSlowQueryThreshold(int64_t us) { slow_query_threshold_us_ = us; }
+  int64_t slow_query_threshold_us() const { return slow_query_threshold_us_; }
+
   // --- persistence (storage/persist.h through the env) --------------------
   // Saves the whole catalog crash-safely: v2 checksummed format, written to
   // a temp file, synced, then atomically renamed over `path` — an
@@ -126,7 +148,15 @@ class Database {
   void InjectTransientFailures(int n) { transient_failures_ = n; }
 
  private:
+  // RunStatement plus statement-stats recording and slow-query logging.
+  Status RunTimed(const ast::Statement& stmt, Outcome* outcome);
   Status RunStatement(const ast::Statement& stmt, Outcome* outcome);
+  // Accumulates one execution into `statements_` and emits the slow-query
+  // log line when armed and exceeded. `plan_texts` may be null.
+  void RecordStatement(const Fingerprint& fp, const char* kind, bool ok,
+                       int64_t rows, int64_t total_us, int64_t compile_us,
+                       int64_t execute_us,
+                       const std::vector<std::string>* plan_texts);
   Status RunCreateTable(const ast::CreateTableStatement& stmt);
   Status RunInsert(const ast::InsertStatement& stmt, Outcome* outcome);
   Status RunUpdate(const ast::UpdateStatement& stmt, Outcome* outcome);
@@ -140,6 +170,8 @@ class Database {
   Env* env_;
   int64_t server_calls_ = 0;
   int transient_failures_ = 0;
+  int64_t slow_query_threshold_us_ = -1;
+  obs::StatementStore statements_{512};
   obs::Tracer tracer_{obs::Tracer::FromEnv{}};
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
   obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");

@@ -1,0 +1,128 @@
+#include "common/log.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace xnfdb {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(const std::string& raw) {
+  std::string s;
+  s.reserve(raw.size());
+  for (char c : raw) {
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+Logger& Logger::Default() {
+  static Logger* logger = [] {
+    auto* l = new Logger();  // never dies: log sites may run at exit
+    if (const char* level = std::getenv("XNFDB_LOG_LEVEL")) {
+      l->set_level(ParseLogLevel(level));
+    }
+    if (const char* path = std::getenv("XNFDB_LOG")) {
+      l->file_path_ = path;
+    }
+    return l;
+  }();
+  return *logger;
+}
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Log(LogLevel level, const std::string& channel,
+                 const std::string& msg, std::vector<LogField> fields) {
+  if (!Enabled(level)) return;
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts_us\":" + std::to_string(NowUs());
+  line += ",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"channel\":\"" + JsonEscape(channel) + "\"";
+  line += ",\"msg\":\"" + JsonEscape(msg) + "\"";
+  for (const LogField& f : fields) {
+    line += ",\"" + JsonEscape(f.key) + "\":";
+    if (f.is_num) {
+      line += std::to_string(f.num);
+    } else {
+      line += "\"" + JsonEscape(f.str) + "\"";
+    }
+  }
+  line += "}";
+  Emit(line);
+}
+
+void Logger::Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(line);
+    return;
+  }
+  if (!file_path_.empty()) {
+    std::ofstream out(file_path_, std::ios::app);
+    if (out) {
+      out << line << "\n";
+      return;
+    }
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace xnfdb

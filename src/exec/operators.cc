@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "storage/sysview.h"
 
 namespace xnfdb {
 
@@ -119,6 +120,19 @@ Result<bool> ScanOp::NextImpl(Tuple* row) {
     return true;
   }
   return false;
+}
+
+Status VirtualScanOp::OpenImpl() {
+  XNFDB_ASSIGN_OR_RETURN(rows_, provider_->Generate());
+  pos_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> VirtualScanOp::NextImpl(Tuple* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  if (stats_ != nullptr) ++stats_->rows_scanned;
+  return true;
 }
 
 Status IndexScanOp::OpenImpl() {
@@ -638,6 +652,10 @@ std::string RenderExprs(const std::vector<const qgm::Expr*>& exprs) {
 
 void ScanOp::ExplainImpl(int depth, std::string* out) const {
   SelfLine(depth, "Scan(" + table_->name() + ")", out);
+}
+
+void VirtualScanOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth, "VirtualScan(" + provider_->name() + ")", out);
 }
 
 void IndexScanOp::ExplainImpl(int depth, std::string* out) const {

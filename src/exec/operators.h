@@ -29,6 +29,8 @@
 
 namespace xnfdb {
 
+class VirtualTableProvider;
+
 namespace obs {
 class MetricsRegistry;
 }  // namespace obs
@@ -159,6 +161,28 @@ class ScanOp : public Operator {
   const Table* table_;
   ExecStats* stats_;
   Rid rid_ = 0;
+};
+
+// Scan over a virtual system table (storage/sysview.h): the provider's
+// Generate() is materialized at Open, so one scan sees one consistent
+// point-in-time snapshot of the engine state it exposes.
+class VirtualScanOp : public Operator {
+ public:
+  VirtualScanOp(const VirtualTableProvider* provider, ExecStats* stats)
+      : provider_(provider), stats_(stats) {}
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Tuple* row) override;
+  void CloseImpl() override { rows_.clear(); }
+
+  void ExplainImpl(int depth, std::string* out) const override;
+
+ private:
+  const VirtualTableProvider* provider_;
+  ExecStats* stats_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
 };
 
 // Hash-index equality lookup `column = key` on a base table.

@@ -21,14 +21,27 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
 
 int64_t HistogramSnapshot::Quantile(double q) const {
   if (count <= 0) return 0;
-  int64_t target = static_cast<int64_t>(q * static_cast<double>(count));
-  if (target < 1) target = 1;
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
   int64_t cumulative = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
+    int64_t before = cumulative;
     cumulative += buckets[i];
-    if (cumulative >= target) {
-      if (i < bounds.size()) return bounds[i];
-      return bounds.empty() ? 0 : bounds.back() + 1;
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate against.
+        return bounds.empty() ? 0 : bounds.back() + 1;
+      }
+      // Interpolate linearly within the covering bucket (lo, hi]: assume
+      // observations are uniform across it, so the quantile sits at the
+      // target rank's fraction of the bucket width — not snapped to the
+      // bucket's upper bound.
+      int64_t lo = i == 0 ? 0 : bounds[i - 1];
+      int64_t hi = bounds[i];
+      double frac = (target - static_cast<double>(before)) /
+                    static_cast<double>(buckets[i]);
+      return lo + static_cast<int64_t>(
+                      frac * static_cast<double>(hi - lo) + 0.5);
     }
   }
   return bounds.empty() ? 0 : bounds.back() + 1;

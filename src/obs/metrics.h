@@ -66,8 +66,10 @@ struct HistogramSnapshot {
 
   // Adds `other` into this snapshot. Bounds must match.
   void Merge(const HistogramSnapshot& other);
-  // Smallest bound with cumulative count >= q * count (q in [0,1]); the
-  // overflow bucket reports the largest bound + 1. 0 when empty.
+  // The q-quantile (q in [0,1]), linearly interpolated within the covering
+  // bucket (observations are assumed uniform across a bucket); quantiles
+  // landing in the overflow bucket report the largest bound + 1. 0 when
+  // empty.
   int64_t Quantile(double q) const;
 };
 

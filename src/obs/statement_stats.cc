@@ -1,0 +1,80 @@
+#include "obs/statement_stats.h"
+
+namespace xnfdb {
+namespace obs {
+
+std::string DigestHex(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+void StatementStore::Record(uint64_t digest, const std::string& text,
+                            const std::string& kind, bool ok, int64_t rows,
+                            int64_t elapsed_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->text = text;
+    entry->kind = kind;
+    it = entries_.emplace(digest, std::move(entry)).first;
+  }
+  Entry& e = *it->second;
+  ++e.calls;
+  if (!ok) ++e.errors;
+  e.rows += rows;
+  e.total_us += elapsed_us;
+  if (e.calls == 1 || elapsed_us < e.min_us) e.min_us = elapsed_us;
+  if (elapsed_us > e.max_us) e.max_us = elapsed_us;
+  e.latency.Observe(elapsed_us);
+}
+
+std::vector<StatementSnapshot> StatementStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatementSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [digest, e] : entries_) {
+    StatementSnapshot s;
+    s.digest = digest;
+    s.digest_hex = DigestHex(digest);
+    s.text = e->text;
+    s.kind = e->kind;
+    s.calls = e->calls;
+    s.errors = e->errors;
+    s.rows = e->rows;
+    s.total_us = e->total_us;
+    s.min_us = e->min_us;
+    s.max_us = e->max_us;
+    s.latency = e->latency.Snapshot();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+size_t StatementStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t StatementStore::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void StatementStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace xnfdb

@@ -1,0 +1,98 @@
+// Per-statement-shape execution statistics, in the spirit of
+// pg_stat_statements: every statement the Database runs is fingerprinted
+// (literals normalized to `?`, shape hashed to a 64-bit digest) and
+// accumulated here under its digest. Each entry keeps call/error/row
+// totals, min/max latency, and a full latency histogram so p50/p99 can be
+// reported per shape.
+//
+// The store is bounded: once `capacity` distinct digests exist, statements
+// with new digests are counted in `dropped()` instead of allocating — a
+// plan-cache-style cap that keeps a hostile or ad-hoc workload from
+// growing the store without bound. It is thread-safe (one mutex; Record is
+// far off the per-tuple hot path — it runs once per statement).
+//
+// The contents surface through the `sys$statements` virtual system table
+// (storage/sysview.h), and per-entry latency histograms through
+// `sys$histograms` under the name `stmt.<digest>.us`.
+
+#ifndef XNFDB_OBS_STATEMENT_STATS_H_
+#define XNFDB_OBS_STATEMENT_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xnfdb {
+namespace obs {
+
+// Renders a statement digest the way it is surfaced everywhere (16 hex
+// digits, zero padded).
+std::string DigestHex(uint64_t digest);
+
+// Point-in-time copy of one statement entry.
+struct StatementSnapshot {
+  uint64_t digest = 0;
+  std::string digest_hex;
+  std::string text;  // normalized statement text (literals are `?`)
+  std::string kind;  // "query" | "dml" | "ddl"
+  int64_t calls = 0;
+  int64_t errors = 0;
+  int64_t rows = 0;  // rows returned (queries) or affected (DML)
+  int64_t total_us = 0;
+  int64_t min_us = 0;
+  int64_t max_us = 0;
+  HistogramSnapshot latency;
+
+  int64_t avg_us() const { return calls > 0 ? total_us / calls : 0; }
+};
+
+class StatementStore {
+ public:
+  explicit StatementStore(size_t capacity = 512) : capacity_(capacity) {}
+  StatementStore(const StatementStore&) = delete;
+  StatementStore& operator=(const StatementStore&) = delete;
+
+  // Accumulates one execution of the statement shape `digest`. `text` and
+  // `kind` are stored on first sight of the digest.
+  void Record(uint64_t digest, const std::string& text,
+              const std::string& kind, bool ok, int64_t rows,
+              int64_t elapsed_us);
+
+  // All entries, in digest order.
+  std::vector<StatementSnapshot> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Statements whose (new) digest did not fit under `capacity`.
+  int64_t dropped() const;
+
+  void Reset();
+
+ private:
+  struct Entry {
+    std::string text;
+    std::string kind;
+    int64_t calls = 0;
+    int64_t errors = 0;
+    int64_t rows = 0;
+    int64_t total_us = 0;
+    int64_t min_us = 0;
+    int64_t max_us = 0;
+    Histogram latency{Histogram::DefaultLatencyBoundsUs()};
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace xnfdb
+
+#endif  // XNFDB_OBS_STATEMENT_STATS_H_

@@ -103,6 +103,10 @@ Result<OperatorPtr> Planner::CompileBox(int box_id) {
   if (stats_ != nullptr) ++stats_->operators_created;
   switch (box->kind) {
     case BoxKind::kBaseTable: {
+      if (const VirtualTableProvider* v =
+              catalog_->GetVirtualTable(box->table_name)) {
+        return OperatorPtr(std::make_unique<VirtualScanOp>(v, stats_));
+      }
       XNFDB_ASSIGN_OR_RETURN(Table * table,
                              catalog_->GetTable(box->table_name));
       return OperatorPtr(std::make_unique<ScanOp>(table, stats_));
@@ -135,7 +139,9 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   const Box* source = graph_->box(q.box_id);
   OperatorPtr op;
   // Access-path selection: `col = literal` on an indexed base-table column.
-  if (options_.use_indexes && source->kind == BoxKind::kBaseTable) {
+  // Virtual tables (sys$ views) have no indexes: HasTable excludes them.
+  if (options_.use_indexes && source->kind == BoxKind::kBaseTable &&
+      catalog_->HasTable(source->table_name)) {
     XNFDB_ASSIGN_OR_RETURN(Table * table,
                            catalog_->GetTable(source->table_name));
     for (size_t i = 0; i < pushed.size(); ++i) {
@@ -164,7 +170,8 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   // Range access path: comparison predicates against literals on an
   // ordered-indexed column (col < lit, col >= lit, ..., col = lit).
   if (op == nullptr && options_.use_indexes &&
-      source->kind == BoxKind::kBaseTable) {
+      source->kind == BoxKind::kBaseTable &&
+      catalog_->HasTable(source->table_name)) {
     XNFDB_ASSIGN_OR_RETURN(Table * table,
                            catalog_->GetTable(source->table_name));
     // Find the first ordered-indexed column with at least one usable bound.
@@ -317,7 +324,14 @@ double Planner::EstimateCard(int box_id) {
   switch (box->kind) {
     case BoxKind::kBaseTable: {
       Result<Table*> table = catalog_->GetTable(box->table_name);
-      card = table.ok() ? static_cast<double>(table.value()->row_count()) : 0;
+      if (table.ok()) {
+        card = static_cast<double>(table.value()->row_count());
+      } else if (const VirtualTableProvider* v =
+                     catalog_->GetVirtualTable(box->table_name)) {
+        card = v->EstimatedRows();
+      } else {
+        card = 0;
+      }
       break;
     }
     case BoxKind::kSelect: {

@@ -13,7 +13,9 @@ bool IsIdentStart(char c) {
 }
 
 bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  // '$' admits system-object names like SYS$METRICS (it cannot *start* an
+  // identifier, so expression syntax is unaffected).
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
 }
 
 }  // namespace

@@ -186,10 +186,21 @@ Result<Box*> Builder::BaseTableBox(const std::string& table_name) {
       return b;
     }
   }
-  XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
-  Box* b = graph_->NewBox(BoxKind::kBaseTable, table->name());
-  b->table_name = table->name();
-  b->base_schema = table->schema();
+  Result<Table*> table = catalog_.GetTable(table_name);
+  if (!table.ok()) {
+    // Virtual system tables (sys$ views) resolve after base tables; the
+    // planner compiles their boxes into VirtualScanOp instead of ScanOp.
+    if (const VirtualTableProvider* v = catalog_.GetVirtualTable(table_name)) {
+      Box* b = graph_->NewBox(BoxKind::kBaseTable, v->name());
+      b->table_name = v->name();
+      b->base_schema = v->schema();
+      return b;
+    }
+    return table.status();
+  }
+  Box* b = graph_->NewBox(BoxKind::kBaseTable, table.value()->name());
+  b->table_name = table.value()->name();
+  b->base_schema = table.value()->schema();
   return b;
 }
 

@@ -12,6 +12,10 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (views_.count(key) != 0) {
     return Status::AlreadyExists("a view named " + key + " already exists");
   }
+  if (virtual_tables_.count(key) != 0) {
+    return Status::AlreadyExists("a system view named " + key +
+                                 " already exists");
+  }
   auto table = std::make_unique<Table>(key, std::move(schema));
   Table* raw = table.get();
   tables_[key] = std::move(table);
@@ -53,9 +57,40 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+Status Catalog::RegisterVirtualTable(
+    std::unique_ptr<VirtualTableProvider> provider) {
+  std::string key = ToUpperIdent(provider->name());
+  if (tables_.count(key) != 0 || views_.count(key) != 0 ||
+      virtual_tables_.count(key) != 0) {
+    return Status::AlreadyExists("an object named " + key + " already exists");
+  }
+  virtual_tables_[key] = std::move(provider);
+  return Status::Ok();
+}
+
+const VirtualTableProvider* Catalog::GetVirtualTable(
+    const std::string& name) const {
+  auto it = virtual_tables_.find(ToUpperIdent(name));
+  return it == virtual_tables_.end() ? nullptr : it->second.get();
+}
+
+bool Catalog::HasVirtualTable(const std::string& name) const {
+  return virtual_tables_.count(ToUpperIdent(name)) != 0;
+}
+
+std::vector<const VirtualTableProvider*> Catalog::VirtualTables() const {
+  std::vector<const VirtualTableProvider*> out;
+  out.reserve(virtual_tables_.size());
+  for (const auto& [name, provider] : virtual_tables_) {
+    out.push_back(provider.get());
+  }
+  return out;
+}
+
 Status Catalog::CreateView(ViewDef def) {
   std::string key = ToUpperIdent(def.name);
-  if (views_.count(key) != 0 || tables_.count(key) != 0) {
+  if (views_.count(key) != 0 || tables_.count(key) != 0 ||
+      virtual_tables_.count(key) != 0) {
     return Status::AlreadyExists("view or table " + key + " already exists");
   }
   def.name = key;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/sysview.h"
 #include "storage/table.h"
 
 namespace xnfdb {
@@ -50,6 +51,17 @@ class Catalog {
   Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
 
+  // --- Virtual tables (sys$ system views, storage/sysview.h) --------------
+  // Registers a generator-backed table under provider->name(). Virtual
+  // tables resolve after base tables and views, are never persisted, and
+  // cannot be dropped (each Database re-registers its own set).
+  Status RegisterVirtualTable(std::unique_ptr<VirtualTableProvider> provider);
+  // The provider registered under `name`, or nullptr.
+  const VirtualTableProvider* GetVirtualTable(const std::string& name) const;
+  bool HasVirtualTable(const std::string& name) const;
+  // All registered providers, in name order.
+  std::vector<const VirtualTableProvider*> VirtualTables() const;
+
   // --- Views --------------------------------------------------------------
   Status CreateView(ViewDef def);
   Result<const ViewDef*> GetView(const std::string& name) const;
@@ -74,6 +86,7 @@ class Catalog {
  private:
   // Map keys are upper-cased identifiers.
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<VirtualTableProvider>> virtual_tables_;
   std::map<std::string, ViewDef> views_;
   std::map<std::string, std::string> primary_keys_;  // table -> column name
   std::vector<ForeignKey> foreign_keys_;

@@ -1,0 +1,244 @@
+#include "storage/sysview.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/statement_stats.h"
+#include "storage/catalog.h"
+
+namespace xnfdb {
+
+namespace {
+
+Schema MakeSchema(std::initializer_list<Column> columns) {
+  return Schema(std::vector<Column>(columns));
+}
+
+// SYS$METRICS: one row per counter/gauge in the registry.
+class MetricsProvider : public VirtualTableProvider {
+ public:
+  explicit MetricsProvider(obs::MetricsRegistry* metrics)
+      : name_("SYS$METRICS"),
+        schema_(MakeSchema({{"NAME", DataType::kString},
+                            {"KIND", DataType::kString},
+                            {"VALUE", DataType::kInt}})),
+        metrics_(metrics) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    obs::MetricsSnapshot snap = metrics_->Snapshot();
+    std::vector<Tuple> rows;
+    rows.reserve(snap.counters.size() + snap.gauges.size());
+    for (const auto& [name, v] : snap.counters) {
+      rows.push_back({Value(name), Value("counter"), Value(v)});
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      rows.push_back({Value(name), Value("gauge"), Value(v)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 64.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  obs::MetricsRegistry* metrics_;
+};
+
+// SYS$HISTOGRAMS: one row per bucket of every histogram — the registry's
+// plus each statement's latency histogram (named `stmt.<digest>.us`, which
+// is what SYS$STATEMENTS.HIST joins against).
+class HistogramsProvider : public VirtualTableProvider {
+ public:
+  HistogramsProvider(obs::MetricsRegistry* metrics,
+                     const obs::StatementStore* statements)
+      : name_("SYS$HISTOGRAMS"),
+        schema_(MakeSchema({{"NAME", DataType::kString},
+                            {"LE", DataType::kInt},
+                            {"BUCKET_COUNT", DataType::kInt},
+                            {"CUM_COUNT", DataType::kInt}})),
+        metrics_(metrics),
+        statements_(statements) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    obs::MetricsSnapshot snap = metrics_->Snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+      AppendBuckets(name, h, &rows);
+    }
+    if (statements_ != nullptr) {
+      for (const obs::StatementSnapshot& s : statements_->Snapshot()) {
+        AppendBuckets("stmt." + s.digest_hex + ".us", s.latency, &rows);
+      }
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 256.0; }
+
+ private:
+  static void AppendBuckets(const std::string& name,
+                            const obs::HistogramSnapshot& h,
+                            std::vector<Tuple>* rows) {
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      Value le = i < h.bounds.size() ? Value(h.bounds[i]) : Value::Null();
+      rows->push_back({Value(name), std::move(le), Value(h.buckets[i]),
+                       Value(cumulative)});
+    }
+  }
+
+  std::string name_;
+  Schema schema_;
+  obs::MetricsRegistry* metrics_;
+  const obs::StatementStore* statements_;
+};
+
+// SYS$STATEMENTS: one row per distinct statement shape.
+class StatementsProvider : public VirtualTableProvider {
+ public:
+  explicit StatementsProvider(const obs::StatementStore* statements)
+      : name_("SYS$STATEMENTS"),
+        schema_(MakeSchema({{"DIGEST", DataType::kString},
+                            {"KIND", DataType::kString},
+                            {"TEXT", DataType::kString},
+                            {"HIST", DataType::kString},
+                            {"CALLS", DataType::kInt},
+                            {"ERRORS", DataType::kInt},
+                            {"ROWS_OUT", DataType::kInt},
+                            {"TOTAL_US", DataType::kInt},
+                            {"MIN_US", DataType::kInt},
+                            {"MAX_US", DataType::kInt},
+                            {"AVG_US", DataType::kInt},
+                            {"P50_US", DataType::kInt},
+                            {"P99_US", DataType::kInt}})),
+        statements_(statements) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::StatementSnapshot& s : statements_->Snapshot()) {
+      rows.push_back({Value(s.digest_hex), Value(s.kind), Value(s.text),
+                      Value("stmt." + s.digest_hex + ".us"), Value(s.calls),
+                      Value(s.errors), Value(s.rows), Value(s.total_us),
+                      Value(s.min_us), Value(s.max_us), Value(s.avg_us()),
+                      Value(s.latency.Quantile(0.5)),
+                      Value(s.latency.Quantile(0.99))});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 32.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::StatementStore* statements_;
+};
+
+// SYS$CACHE: the CO cache / write-back slice of the metric namespace.
+class CacheProvider : public VirtualTableProvider {
+ public:
+  explicit CacheProvider(obs::MetricsRegistry* metrics)
+      : name_("SYS$CACHE"),
+        schema_(MakeSchema(
+            {{"NAME", DataType::kString}, {"VALUE", DataType::kInt}})),
+        metrics_(metrics) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    obs::MetricsSnapshot snap = metrics_->Snapshot();
+    std::vector<Tuple> rows;
+    auto want = [](const std::string& name) {
+      return name.rfind("cache.", 0) == 0 || name.rfind("writeback.", 0) == 0;
+    };
+    for (const auto& [name, v] : snap.counters) {
+      if (want(name)) rows.push_back({Value(name), Value(v)});
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      if (want(name)) rows.push_back({Value(name), Value(v)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 16.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  obs::MetricsRegistry* metrics_;
+};
+
+// SYS$TABLES: the catalog's contents, including the virtual tables
+// themselves. ROW_COUNT is NULL for views (they are recompiled on use).
+class TablesProvider : public VirtualTableProvider {
+ public:
+  explicit TablesProvider(const Catalog* catalog)
+      : name_("SYS$TABLES"),
+        schema_(MakeSchema({{"NAME", DataType::kString},
+                            {"KIND", DataType::kString},
+                            {"ROW_COUNT", DataType::kInt},
+                            {"COLUMN_COUNT", DataType::kInt}})),
+        catalog_(catalog) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const std::string& name : catalog_->TableNames()) {
+      XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(name));
+      rows.push_back({Value(name), Value("table"),
+                      Value(static_cast<int64_t>(table->row_count())),
+                      Value(static_cast<int64_t>(table->schema().size()))});
+    }
+    for (const ViewDef* view : catalog_->Views()) {
+      rows.push_back({Value(view->name),
+                      Value(view->is_xnf ? "xnf view" : "view"), Value::Null(),
+                      Value::Null()});
+    }
+    for (const VirtualTableProvider* v : catalog_->VirtualTables()) {
+      rows.push_back({Value(v->name()), Value("virtual"), Value::Null(),
+                      Value(static_cast<int64_t>(v->schema().size()))});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 16.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const Catalog* catalog_;
+};
+
+}  // namespace
+
+Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
+                           const obs::StatementStore* statements) {
+  XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+      std::make_unique<MetricsProvider>(metrics)));
+  XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+      std::make_unique<HistogramsProvider>(metrics, statements)));
+  XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+      std::make_unique<StatementsProvider>(statements)));
+  XNFDB_RETURN_IF_ERROR(
+      catalog->RegisterVirtualTable(std::make_unique<CacheProvider>(metrics)));
+  XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+      std::make_unique<TablesProvider>(catalog)));
+  return Status::Ok();
+}
+
+}  // namespace xnfdb

@@ -1,0 +1,72 @@
+// Virtual system tables ("sys$" views): engine state exposed as relations,
+// queryable through the ordinary SQL/XNF machinery. Following the paper's
+// thesis that structured data belongs behind the relational interface
+// (Sect. 2) — and Litwin's stored/inherited relations — internal state is
+// not a side-channel JSON dump but a set of tables the planner treats like
+// any base table, so CO views can be built over them.
+//
+// A VirtualTableProvider is registered with the Catalog under its name;
+// name resolution (semantics::Builder) falls back to providers when no
+// base table matches, and the planner compiles such boxes into a
+// VirtualScanOp that materializes Generate() at Open time. Providers are
+// never persisted: SaveTo/LoadFrom ignore them, and each Database
+// re-registers its own at construction.
+//
+// Built-in system views (all names upper-case; `$` is an identifier
+// character):
+//   SYS$METRICS(NAME, KIND, VALUE)            counter/gauge snapshot
+//   SYS$HISTOGRAMS(NAME, LE, BUCKET_COUNT, CUM_COUNT)
+//       one row per bucket; LE is NULL for the +Inf overflow bucket;
+//       includes per-statement latency histograms named `stmt.<digest>.us`
+//   SYS$STATEMENTS(DIGEST, KIND, TEXT, HIST, CALLS, ERRORS, ROWS_OUT,
+//                  TOTAL_US, MIN_US, MAX_US, AVG_US, P50_US, P99_US)
+//       one row per distinct statement shape; HIST names this statement's
+//       latency histogram in SYS$HISTOGRAMS (the natural RELATE join key)
+//   SYS$CACHE(NAME, VALUE)                    cache.* / writeback.* metrics
+//   SYS$TABLES(NAME, KIND, ROW_COUNT, COLUMN_COUNT)
+//       catalog contents: base tables, views, and virtual tables
+
+#ifndef XNFDB_STORAGE_SYSVIEW_H_
+#define XNFDB_STORAGE_SYSVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace xnfdb {
+
+class Catalog;
+
+namespace obs {
+class MetricsRegistry;
+class StatementStore;
+}  // namespace obs
+
+// A generator-backed table: fixed schema, rows produced on demand.
+class VirtualTableProvider {
+ public:
+  virtual ~VirtualTableProvider() = default;
+
+  // Upper-case identifier the provider is addressed by.
+  virtual const std::string& name() const = 0;
+  virtual const Schema& schema() const = 0;
+
+  // Produces the current rows. Called once per scan Open; the result is a
+  // point-in-time snapshot (virtual tables have no transactional state).
+  virtual Result<std::vector<Tuple>> Generate() const = 0;
+
+  // Planner cardinality hint (virtual tables carry no column statistics).
+  virtual double EstimatedRows() const { return 64.0; }
+};
+
+// Registers the built-in sys$ views against `catalog`. `metrics` and
+// `statements` must outlive the catalog; `catalog` itself backs SYS$TABLES.
+Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
+                           const obs::StatementStore* statements);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_STORAGE_SYSVIEW_H_

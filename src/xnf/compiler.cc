@@ -1,6 +1,7 @@
 #include "xnf/compiler.h"
 
 #include "obs/phase.h"
+#include "parser/fingerprint.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
 
@@ -10,6 +11,11 @@ Result<CompiledQuery> CompileSelect(const Catalog& catalog,
                                     const ast::SelectStmt& select,
                                     const CompileOptions& options) {
   CompiledQuery out;
+  {
+    Fingerprint fp = FingerprintSelect(select);
+    out.normalized_text = std::move(fp.text);
+    out.digest = fp.digest;
+  }
   {
     obs::PhaseScope phase(options.tracer, options.metrics, "semantics");
     XNFDB_ASSIGN_OR_RETURN(out.graph, BuildSelect(catalog, select));
@@ -26,6 +32,11 @@ Result<CompiledQuery> CompileXnf(const Catalog& catalog,
                                  const ast::XnfQuery& query,
                                  const CompileOptions& options) {
   CompiledQuery out;
+  {
+    Fingerprint fp = FingerprintXnf(query);
+    out.normalized_text = std::move(fp.text);
+    out.digest = fp.digest;
+  }
   {
     obs::PhaseScope phase(options.tracer, options.metrics, "semantics");
     XNFDB_ASSIGN_OR_RETURN(out.graph, BuildXnf(catalog, query));

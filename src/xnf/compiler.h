@@ -37,6 +37,11 @@ struct CompiledQuery {
   // True when the query is a recursive CO that the box rewrite cannot
   // lower; it must be evaluated with the fixpoint evaluator instead.
   bool needs_fixpoint = false;
+  // Statement fingerprint (parser/fingerprint.h): the AST's shape with
+  // literals normalized to `?`, and its 64-bit digest. Feeds the
+  // per-statement statistics behind sys$statements and the slow-query log.
+  std::string normalized_text;
+  uint64_t digest = 0;
 };
 
 // Compiles a plain SQL SELECT.

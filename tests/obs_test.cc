@@ -70,17 +70,41 @@ TEST(HistogramTest, MergeIntoEmptyAdoptsOther) {
   EXPECT_EQ(s.bounds, std::vector<int64_t>({10, 20}));
 }
 
-TEST(HistogramTest, QuantileReportsSmallestCoveringBound) {
+TEST(HistogramTest, QuantileInterpolatesWithinCoveringBucket) {
   Histogram h({1, 10, 100});
-  for (int i = 0; i < 98; ++i) h.Observe(5);   // bucket le=10
-  h.Observe(50);                               // bucket le=100
+  for (int i = 0; i < 98; ++i) h.Observe(5);   // bucket (1,10]
+  h.Observe(50);                               // bucket (10,100]
   h.Observe(1000);                             // overflow
   HistogramSnapshot s = h.Snapshot();
-  EXPECT_EQ(s.Quantile(0.5), 10);
+  // p50: target rank 50 of 98 in bucket (1,10] -> 1 + (50/98)*9 = 5.59 -> 6.
+  EXPECT_EQ(s.Quantile(0.5), 6);
+  // p98: rank 98 is the last observation of bucket (1,10] -> its bound.
   EXPECT_EQ(s.Quantile(0.98), 10);
+  // p99: rank 99 is the only observation of (10,100] -> 10 + 1.0*90 = 100.
   EXPECT_EQ(s.Quantile(0.99), 100);
   EXPECT_EQ(s.Quantile(1.0), 101);  // overflow reports last bound + 1
   EXPECT_EQ(HistogramSnapshot().Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, QuantilePinsInterpolationFormula) {
+  // 10 observations, all in bucket (10,20]: the median must sit mid-bucket,
+  // not snap to the bucket's upper bound.
+  Histogram h({10, 20});
+  for (int i = 0; i < 10; ++i) h.Observe(15);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.5), 15);   // 10 + (5/10)*10
+  EXPECT_EQ(s.Quantile(0.1), 11);   // 10 + (1/10)*10
+  EXPECT_EQ(s.Quantile(1.0), 20);   // 10 + (10/10)*10
+
+  // First bucket interpolates from an implicit lower bound of 0.
+  Histogram first({100});
+  for (int i = 0; i < 4; ++i) first.Observe(1);
+  EXPECT_EQ(first.Snapshot().Quantile(0.5), 50);  // 0 + (2/4)*100
+
+  // A single observation lands at the full width of its bucket.
+  Histogram one({10, 20});
+  one.Observe(12);
+  EXPECT_EQ(one.Snapshot().Quantile(0.5), 20);  // 10 + (1/1)*10
 }
 
 TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
@@ -130,6 +154,45 @@ TEST(MetricsRegistryTest, SnapshotAndResetUnderConcurrentIncrements) {
   EXPECT_EQ(reg.Snapshot().counters.at("t.counter"), 0);
   c->Increment();  // handle survives Reset
   EXPECT_EQ(reg.Snapshot().counters.at("t.counter"), 1);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHammerLosesNoUpdates) {
+  // N threads hammer the same counter and histogram handles; every update
+  // must land: exact totals for the counter value, histogram count, sum and
+  // per-bucket tallies.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hammer.counter");
+  Histogram* h = reg.GetHistogram("hammer.hist", {10, 100, 1000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment(2);
+        // Cycle through all four buckets deterministically: 5 -> (..10],
+        // 50 -> (10,100], 500 -> (100,1000], 5000 -> overflow.
+        static const int64_t kValues[4] = {5, 50, 500, 5000};
+        h->Observe(kValues[(t + i) % 4]);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  constexpr int64_t kTotal = int64_t{kThreads} * kPerThread;
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("hammer.counter"), 2 * kTotal);
+  const HistogramSnapshot& hs = snap.histograms.at("hammer.hist");
+  EXPECT_EQ(hs.count, kTotal);
+  // kPerThread divides by 4, so each thread contributes kPerThread/4 per
+  // bucket regardless of its phase offset.
+  EXPECT_EQ(hs.sum, (5 + 50 + 500 + 5000) * (kTotal / 4));
+  ASSERT_EQ(hs.buckets.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(hs.buckets[i], kTotal / 4);
 }
 
 TEST(MetricsRegistryTest, JsonExposition) {

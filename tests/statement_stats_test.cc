@@ -1,0 +1,151 @@
+// Tests of query fingerprinting (parser/fingerprint.h) and the bounded
+// per-statement statistics store behind sys$statements
+// (obs/statement_stats.h).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/statement_stats.h"
+#include "parser/fingerprint.h"
+#include "parser/parser.h"
+
+namespace xnfdb {
+namespace {
+
+Fingerprint FingerprintText(const std::string& text) {
+  Result<ast::StatementPtr> stmt = ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return FingerprintStatement(*stmt.value());
+}
+
+TEST(FingerprintTest, LiteralsNormalizeToQuestionMark) {
+  Fingerprint fp = FingerprintText("SELECT A FROM T WHERE B = 5 AND C = 'x'");
+  EXPECT_EQ(fp.text.find('5'), std::string::npos) << fp.text;
+  EXPECT_EQ(fp.text.find("'x'"), std::string::npos) << fp.text;
+  EXPECT_NE(fp.text.find('?'), std::string::npos) << fp.text;
+  EXPECT_NE(fp.digest, 0u);
+}
+
+TEST(FingerprintTest, ConstantsShareAShapeStructureDoesNot) {
+  Fingerprint a = FingerprintText("SELECT A FROM T WHERE B = 5");
+  Fingerprint b = FingerprintText("SELECT A FROM T WHERE B = 99");
+  Fingerprint c = FingerprintText("SELECT A FROM T WHERE C = 5");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(FingerprintTest, LimitAndOffsetConstantsAreNormalized) {
+  Fingerprint a = FingerprintText("SELECT A FROM T ORDER BY A LIMIT 5");
+  Fingerprint b = FingerprintText("SELECT A FROM T ORDER BY A LIMIT 500");
+  Fingerprint c = FingerprintText("SELECT A FROM T ORDER BY A");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_NE(a.digest, c.digest);  // presence of LIMIT is structural
+}
+
+TEST(FingerprintTest, MultiRowInsertCollapsesToOneShape) {
+  Fingerprint one = FingerprintText("INSERT INTO T VALUES (1, 'a')");
+  Fingerprint three =
+      FingerprintText("INSERT INTO T VALUES (2, 'b'), (3, 'c'), (4, 'd')");
+  Fingerprint other_arity = FingerprintText("INSERT INTO T VALUES (1)");
+  EXPECT_EQ(one.digest, three.digest) << one.text << " vs " << three.text;
+  EXPECT_NE(one.digest, other_arity.digest);
+}
+
+TEST(FingerprintTest, XnfQueriesNormalizeLiteralsToo) {
+  const char* kArc =
+      "OUT OF d AS (SELECT * FROM DEPT WHERE LOC = 'ARC'), e AS EMP, "
+      "r AS (RELATE d VIA EMPLOYS, e WHERE d.DNO = e.EDNO) TAKE *";
+  const char* kYkt =
+      "OUT OF d AS (SELECT * FROM DEPT WHERE LOC = 'YKT'), e AS EMP, "
+      "r AS (RELATE d VIA EMPLOYS, e WHERE d.DNO = e.EDNO) TAKE *";
+  Fingerprint a = FingerprintText(kArc);
+  Fingerprint b = FingerprintText(kYkt);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.text.find("'ARC'"), std::string::npos) << a.text;
+}
+
+TEST(FingerprintTest, HashIsStableFnv1a) {
+  // FNV-1a 64-bit pinned values: the digest is part of the sys$statements
+  // surface (DIGEST column, stmt.<digest>.us histogram names), so it must
+  // not drift across refactors.
+  EXPECT_EQ(FingerprintHash(""), 14695981039346656037ull);
+  EXPECT_EQ(FingerprintHash("a"), 12638187200555641996ull);
+  EXPECT_NE(FingerprintHash("a"), FingerprintHash("b"));
+}
+
+TEST(DigestHexTest, SixteenZeroPaddedDigits) {
+  EXPECT_EQ(obs::DigestHex(0), "0000000000000000");
+  EXPECT_EQ(obs::DigestHex(0xabcull), "0000000000000abc");
+  EXPECT_EQ(obs::DigestHex(~0ull), "ffffffffffffffff");
+}
+
+TEST(StatementStoreTest, AccumulatesPerDigest) {
+  obs::StatementStore store;
+  store.Record(7, "SELECT ?", "query", /*ok=*/true, /*rows=*/3,
+               /*elapsed_us=*/100);
+  store.Record(7, "SELECT ?", "query", true, 5, 300);
+  store.Record(7, "SELECT ?", "query", /*ok=*/false, 0, 50);
+  std::vector<obs::StatementSnapshot> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].digest, 7u);
+  EXPECT_EQ(snap[0].text, "SELECT ?");
+  EXPECT_EQ(snap[0].kind, "query");
+  EXPECT_EQ(snap[0].calls, 3);
+  EXPECT_EQ(snap[0].errors, 1);
+  EXPECT_EQ(snap[0].rows, 8);
+  EXPECT_EQ(snap[0].total_us, 450);
+  EXPECT_EQ(snap[0].min_us, 50);
+  EXPECT_EQ(snap[0].max_us, 300);
+  EXPECT_EQ(snap[0].avg_us(), 150);
+  EXPECT_EQ(snap[0].latency.count, 3);
+}
+
+TEST(StatementStoreTest, CapacityBoundsDistinctDigests) {
+  obs::StatementStore store(/*capacity=*/2);
+  store.Record(1, "a", "query", true, 0, 1);
+  store.Record(2, "b", "query", true, 0, 1);
+  store.Record(3, "c", "query", true, 0, 1);  // dropped: store is full
+  store.Record(1, "a", "query", true, 0, 1);  // existing digest still lands
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dropped(), 1);
+  std::vector<obs::StatementSnapshot> snap = store.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].calls, 2);
+
+  store.Reset();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped(), 0);
+}
+
+TEST(StatementStoreTest, ConcurrentRecordsAllLand) {
+  obs::StatementStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        // Two digests shared by all threads plus one private per thread.
+        uint64_t digest = i % 3 == 2 ? 100 + t : i % 3;
+        store.Record(digest, "t", "query", true, 1, 10);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+  int64_t calls = 0;
+  for (const obs::StatementSnapshot& s : store.Snapshot()) calls += s.calls;
+  EXPECT_EQ(calls, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(store.size(), 2u + kThreads);
+  EXPECT_EQ(store.dropped(), 0);
+}
+
+}  // namespace
+}  // namespace xnfdb
