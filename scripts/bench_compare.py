@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots (scripts/bench.sh output).
+
+Usage: bench_compare.py OLD.json NEW.json [--threshold 0.20] [--report-only]
+
+Prints a diff of every metric counter and every phase.*.us histogram
+(sum and count), then applies the regression gate: the run fails (exit 1)
+when NEW's phase.execute.us sum exceeds OLD's by more than --threshold
+(default 20%). Pass --report-only to print the diff without gating —
+e.g. when the two snapshots were taken at different workload scales
+(full vs --smoke) and absolute times are not comparable.
+"""
+
+import argparse
+import json
+import sys
+
+GATE_HISTOGRAM = "phase.execute.us"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def fmt_delta(old, new):
+    if old == 0:
+        return "n/a" if new == 0 else "+inf"
+    return f"{(new - old) / old * 100.0:+.1f}%"
+
+
+def counters(snap):
+    return snap.get("metrics", {}).get("counters", {})
+
+
+def phase_histograms(snap):
+    hists = snap.get("metrics", {}).get("histograms", {})
+    return {k: v for k, v in hists.items() if k.startswith("phase.")}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional execute-phase regression "
+                         "(default 0.20 = 20%%)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the diff but never fail")
+    args = ap.parse_args()
+
+    old_snap, new_snap = load(args.old), load(args.new)
+    print(f"bench_compare: {args.old} -> {args.new}")
+
+    old_c, new_c = counters(old_snap), counters(new_snap)
+    print(f"\n{'counter':<40} {'old':>12} {'new':>12} {'delta':>8}")
+    for name in sorted(set(old_c) | set(new_c)):
+        o, n = old_c.get(name, 0), new_c.get(name, 0)
+        mark = "" if o == n else "  *"
+        print(f"{name:<40} {o:>12} {n:>12} {fmt_delta(o, n):>8}{mark}")
+
+    old_h, new_h = phase_histograms(old_snap), phase_histograms(new_snap)
+    print(f"\n{'phase histogram':<28} {'old sum':>10} {'new sum':>10} "
+          f"{'delta':>8} {'old n':>7} {'new n':>7}")
+    for name in sorted(set(old_h) | set(new_h)):
+        o, n = old_h.get(name, {}), new_h.get(name, {})
+        osum, nsum = o.get("sum", 0), n.get("sum", 0)
+        print(f"{name:<28} {osum:>10} {nsum:>10} {fmt_delta(osum, nsum):>8} "
+              f"{o.get('count', 0):>7} {n.get('count', 0):>7}")
+
+    old_exec = old_h.get(GATE_HISTOGRAM, {})
+    new_exec = new_h.get(GATE_HISTOGRAM, {})
+    osum, nsum = old_exec.get("sum", 0), new_exec.get("sum", 0)
+    if args.report_only:
+        print("\nreport-only: no regression gate applied")
+        return 0
+    if osum <= 0 or old_exec.get("count", 0) <= 0:
+        print(f"\nno {GATE_HISTOGRAM} baseline in {args.old}; gate skipped")
+        return 0
+    limit = osum * (1.0 + args.threshold)
+    if nsum > limit:
+        print(f"\nFAIL: {GATE_HISTOGRAM} sum regressed {osum} -> {nsum} "
+              f"({fmt_delta(osum, nsum)}), over the "
+              f"{args.threshold * 100:.0f}% allowance ({limit:.0f})",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {GATE_HISTOGRAM} sum {osum} -> {nsum} "
+          f"({fmt_delta(osum, nsum)}) within the "
+          f"{args.threshold * 100:.0f}% allowance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,10 @@ Database::Database(Env* env) : env_(env) {
   // The catalog is empty at this point, so name collisions are impossible.
   Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_);
   (void)registered;
+  // Pre-register every exec.* counter at zero so SYS$METRICS exposes the
+  // full execution-counter surface (including batch/morsel visibility)
+  // before the first query runs.
+  ExecStats{}.PublishTo(metrics_);
 }
 
 Database::~Database() {

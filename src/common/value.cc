@@ -96,15 +96,60 @@ bool Value::operator<(const Value& other) const {
   return CompareNonNull(*this, other) < 0;
 }
 
-Value Value::Compare(const Value& a, const Value& b, const std::string& op) {
+bool ParseCompareOp(const std::string& op, CompareOp* out) {
+  if (op == "=") {
+    *out = CompareOp::kEq;
+  } else if (op == "<>") {
+    *out = CompareOp::kNe;
+  } else if (op == "<") {
+    *out = CompareOp::kLt;
+  } else if (op == "<=") {
+    *out = CompareOp::kLe;
+  } else if (op == ">") {
+    *out = CompareOp::kGt;
+  } else if (op == ">=") {
+    *out = CompareOp::kGe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Value Value::Compare(const Value& a, const Value& b, CompareOp op) {
   if (a.is_null() || b.is_null()) return Value::Null();
   int c = CompareNonNull(a, b);
-  if (op == "=") return Value(c == 0);
-  if (op == "<>") return Value(c != 0);
-  if (op == "<") return Value(c < 0);
-  if (op == "<=") return Value(c <= 0);
-  if (op == ">") return Value(c > 0);
-  if (op == ">=") return Value(c >= 0);
+  switch (op) {
+    case CompareOp::kEq:
+      return Value(c == 0);
+    case CompareOp::kNe:
+      return Value(c != 0);
+    case CompareOp::kLt:
+      return Value(c < 0);
+    case CompareOp::kLe:
+      return Value(c <= 0);
+    case CompareOp::kGt:
+      return Value(c > 0);
+    case CompareOp::kGe:
+      return Value(c >= 0);
+  }
   return Value::Null();
 }
 

@@ -28,6 +28,24 @@ enum class DataType {
 
 const char* DataTypeName(DataType type);
 
+// A comparison operator resolved once (at plan/parse time) so per-row
+// evaluation dispatches on an enum instead of string-matching the SQL
+// spelling on every call.
+enum class CompareOp {
+  kEq,  // =
+  kNe,  // <>
+  kLt,  // <
+  kLe,  // <=
+  kGt,  // >
+  kGe,  // >=
+};
+
+// Maps the SQL spelling ("=", "<>", "<", "<=", ">", ">=") to its enum.
+// Returns false (leaving *out untouched) for any other string.
+bool ParseCompareOp(const std::string& op, CompareOp* out);
+
+const char* CompareOpName(CompareOp op);
+
 // A single SQL value. Copyable; strings are owned.
 class Value {
  public:
@@ -58,8 +76,8 @@ class Value {
   bool operator<(const Value& other) const;
 
   // Three-valued comparison: returns NULL Value when either side is NULL,
-  // otherwise a bool Value. `op` is one of "=", "<>", "<", "<=", ">", ">=".
-  static Value Compare(const Value& a, const Value& b, const std::string& op);
+  // otherwise a bool Value.
+  static Value Compare(const Value& a, const Value& b, CompareOp op);
 
   // Arithmetic with numeric promotion; NULL-propagating.
   static Result<Value> Add(const Value& a, const Value& b);

@@ -91,6 +91,53 @@ Tuple ProjectCols(const Tuple& row, const std::vector<int>& cols) {
   return out;
 }
 
+int ResolveMorselWorkers(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("XNFDB_MORSEL_WORKERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+Rid ResolveMorselRows(int64_t requested) {
+  if (requested > 0) return static_cast<Rid>(requested);
+  if (const char* env = std::getenv("XNFDB_MORSEL_ROWS")) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<Rid>(v);
+  }
+  return 2048;
+}
+
+// Pulls every row out of `op` (already Open) at the requested granularity
+// and hands each to `emit` (Tuple&& -> Status). batch_size <= 1 keeps the
+// classic row-at-a-time pull; otherwise each delivered batch bumps
+// `batches_emitted`.
+template <typename EmitFn>
+Status PullRows(Operator* op, int batch_size, StatCounter* batches_emitted,
+                const EmitFn& emit) {
+  if (batch_size <= 1) {
+    Tuple row;
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+      if (!more) break;
+      XNFDB_RETURN_IF_ERROR(emit(std::move(row)));
+      row = Tuple();
+    }
+    return Status::Ok();
+  }
+  TupleBatch batch(static_cast<size_t>(batch_size));
+  while (true) {
+    XNFDB_ASSIGN_OR_RETURN(bool more, op->NextBatch(&batch));
+    if (!more) break;
+    ++*batches_emitted;
+    for (size_t i = 0; i < batch.ActiveCount(); ++i) {
+      XNFDB_RETURN_IF_ERROR(emit(std::move(batch.Active(i))));
+    }
+  }
+  return Status::Ok();
+}
+
 // Runs `task(i)` for i in [0, n) on up to `workers` threads. Tasks must be
 // independent. Returns the first failure, if any.
 Status RunParallel(int n, int workers,
@@ -135,8 +182,15 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   // can be copied or moved freely: its stats are a consistent snapshot
   // taken after every worker joined.
   ExecStats run_stats;
+  const int batch_size = ResolveBatchSize(options.batch_size);
+  // Morsel workers clone plans and split actuals across them, so analyze
+  // mode (which renders one annotated plan per output) stays sequential.
+  const int morsel_workers =
+      options.analyze ? 1 : ResolveMorselWorkers(options.morsel_workers);
+  const Rid morsel_rows = ResolveMorselRows(options.morsel_rows);
   PlanOptions plan_options = options.plan;
   plan_options.analyze = options.analyze;
+  plan_options.batch_size = batch_size;
   Planner planner(&catalog, &graph, plan_options, &run_stats);
 
   // Output descriptors.
@@ -186,6 +240,87 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
     plan_texts[oi] = std::move(text);
   };
 
+  // Tags one projected component row and appends it to the output buffer
+  // (dedup via the component's tid map for XNF object sharing).
+  auto emit_component = [&](int oi, const qgm::TopOutput& out, TidMap& map,
+                            Tuple&& projected) {
+    StreamItem item;
+    item.kind = StreamItem::Kind::kRow;
+    item.output = oi;
+    if (out.xnf_component) {
+      auto [tid, inserted] = map.Intern(projected);
+      if (!inserted) return;  // object sharing: emit each row once
+      item.tid = tid;
+    } else {
+      item.tid = map.next++;
+    }
+    item.values = std::move(projected);
+    ++run_stats.rows_output;
+    buffers[oi].push_back(std::move(item));
+  };
+
+  // Morsel-parallel evaluation of one component output: `workers` plan
+  // clones share a morsel dispenser on their driver scans; each claimed
+  // morsel's rows land in that morsel's private bucket, and the buckets
+  // are reassembled in morsel order, so the emitted stream (and therefore
+  // every assigned tid) is identical to sequential execution.
+  auto run_morsel_output = [&](int oi, const qgm::TopOutput& out,
+                               OperatorPtr first_plan,
+                               ScanOp* first_driver) -> Status {
+    std::vector<OperatorPtr> plans;
+    std::vector<ScanOp*> drivers;
+    plans.push_back(std::move(first_plan));
+    drivers.push_back(first_driver);
+    for (int w = 1; w < morsel_workers; ++w) {
+      XNFDB_ASSIGN_OR_RETURN(OperatorPtr extra, planner.BoxIterator(out.box_id));
+      ScanOp* d = extra->MorselDriver();
+      if (d == nullptr || d->table() != first_driver->table()) break;
+      plans.push_back(std::move(extra));
+      drivers.push_back(d);
+    }
+    auto morsels = std::make_shared<ScanMorsels>();
+    morsels->bound = first_driver->table()->rid_bound();
+    morsels->rows_per_morsel = morsel_rows;
+    for (ScanOp* d : drivers) d->ShareMorsels(morsels);
+
+    std::vector<std::vector<Tuple>> buckets(morsels->MorselCount());
+    std::vector<Status> worker_status(plans.size());
+    auto worker = [&](size_t w) -> Status {
+      Operator* plan = plans[w].get();
+      ScanOp* driver = drivers[w];
+      XNFDB_RETURN_IF_ERROR(plan->Open());
+      XNFDB_RETURN_IF_ERROR(PullRows(
+          plan, batch_size, &run_stats.batches_emitted,
+          [&](Tuple&& row) -> Status {
+            // A batch never spans morsels (ScanOp guarantee), so the
+            // driver's current morsel tags every row it just produced.
+            Tuple projected =
+                out.cols.empty() ? std::move(row) : ProjectCols(row, out.cols);
+            buckets[driver->current_morsel()].push_back(std::move(projected));
+            return Status::Ok();
+          }));
+      plan->Close();
+      return Status::Ok();
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(plans.size());
+    for (size_t w = 0; w < plans.size(); ++w) {
+      threads.emplace_back([&, w] { worker_status[w] = worker(w); });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const Status& s : worker_status) {
+      XNFDB_RETURN_IF_ERROR(s);
+    }
+    // Sequential reassembly: morsel order == scan order.
+    TidMap& map = tids[out.name];
+    for (std::vector<Tuple>& bucket : buckets) {
+      for (Tuple& projected : bucket) {
+        emit_component(oi, out, map, std::move(projected));
+      }
+    }
+    return Status::Ok();
+  };
+
   // Pass 1: component streams (tuple ids assigned; XNF components dedup).
   // Each output owns its buffer and tid map, so outputs evaluate in
   // parallel when requested; spool builds are serialized by the planner and
@@ -209,28 +344,24 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           exec_span = options.tracer->StartSpan("execute " + out.name);
         }
         PhaseTimer timer(options.metrics, "phase.execute.us");
+        if (morsel_workers > 1) {
+          // Intra-plan parallelism: only a plain scan pipeline qualifies
+          // (a pipeline breaker or non-scan source returns null).
+          ScanOp* driver = op->MorselDriver();
+          if (driver != nullptr) {
+            return run_morsel_output(oi, out, std::move(op), driver);
+          }
+        }
         XNFDB_RETURN_IF_ERROR(op->Open());
         TidMap& map = tids[out.name];
-        Tuple row;
-        while (true) {
-          XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
-          if (!more) break;
-          Tuple projected =
-              out.cols.empty() ? row : ProjectCols(row, out.cols);
-          StreamItem item;
-          item.kind = StreamItem::Kind::kRow;
-          item.output = oi;
-          if (out.xnf_component) {
-            auto [tid, inserted] = map.Intern(projected);
-            if (!inserted) continue;  // object sharing: emit each row once
-            item.tid = tid;
-          } else {
-            item.tid = map.next++;
-          }
-          item.values = std::move(projected);
-          ++run_stats.rows_output;
-          buffers[oi].push_back(std::move(item));
-        }
+        XNFDB_RETURN_IF_ERROR(PullRows(
+            op.get(), batch_size, &run_stats.batches_emitted,
+            [&](Tuple&& row) -> Status {
+              Tuple projected =
+                  out.cols.empty() ? std::move(row) : ProjectCols(row, out.cols);
+              emit_component(oi, out, map, std::move(projected));
+              return Status::Ok();
+            }));
         op->Close();
         capture_plan(oi, out, op.get());
         return Status::Ok();
@@ -253,40 +384,39 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
         PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         std::set<std::vector<TupleId>> seen;
-        Tuple row;
-        while (true) {
-          XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
-          if (!more) break;
-          std::vector<TupleId> partner_tids;
-          bool valid = true;
-          for (size_t pi = 0; pi < out.partner_names.size(); ++pi) {
-            const std::string& partner = out.partner_names[pi];
-            auto cit = component_output.find(partner);
-            if (cit == component_output.end()) {
-              return Status::Internal("connection partner '" + partner +
-                                      "' is not an output component");
-            }
-            Tuple key = ProjectCols(row, out.partner_cols[pi]);
-            const TidMap& map = tids.find(partner)->second;
-            auto it = map.ids.find(key);
-            if (it == map.ids.end()) {
-              // The partner row did not appear in its component stream (can
-              // happen only for non-reachable setups); drop the connection
-              // to keep the answer closed.
-              valid = false;
-              break;
-            }
-            partner_tids.push_back(it->second);
-          }
-          if (!valid) continue;
-          if (!seen.insert(partner_tids).second) continue;  // duplicate
-          StreamItem item;
-          item.kind = StreamItem::Kind::kConnection;
-          item.output = oi;
-          item.tids = std::move(partner_tids);
-          ++run_stats.rows_output;
-          buffers[oi].push_back(std::move(item));
-        }
+        XNFDB_RETURN_IF_ERROR(PullRows(
+            op.get(), batch_size, &run_stats.batches_emitted,
+            [&](Tuple&& row) -> Status {
+              std::vector<TupleId> partner_tids;
+              for (size_t pi = 0; pi < out.partner_names.size(); ++pi) {
+                const std::string& partner = out.partner_names[pi];
+                auto cit = component_output.find(partner);
+                if (cit == component_output.end()) {
+                  return Status::Internal("connection partner '" + partner +
+                                          "' is not an output component");
+                }
+                Tuple key = ProjectCols(row, out.partner_cols[pi]);
+                const TidMap& map = tids.find(partner)->second;
+                auto it = map.ids.find(key);
+                if (it == map.ids.end()) {
+                  // The partner row did not appear in its component stream
+                  // (can happen only for non-reachable setups); drop the
+                  // connection to keep the answer closed.
+                  return Status::Ok();
+                }
+                partner_tids.push_back(it->second);
+              }
+              if (!seen.insert(partner_tids).second) {
+                return Status::Ok();  // duplicate connection
+              }
+              StreamItem item;
+              item.kind = StreamItem::Kind::kConnection;
+              item.output = oi;
+              item.tids = std::move(partner_tids);
+              ++run_stats.rows_output;
+              buffers[oi].push_back(std::move(item));
+              return Status::Ok();
+            }));
         op->Close();
         capture_plan(oi, out, op.get());
         return Status::Ok();

@@ -75,6 +75,19 @@ struct ExecOptions {
   // (paper Sect. 5.1/6: applying parallelism to set-oriented CO
   // extraction). 1 = sequential.
   int parallel_workers = 1;
+  // Rows pulled per executor batch from every output's plan root (and used
+  // for plan-time spool materialization). 0 = XNFDB_BATCH_SIZE env var or
+  // 1024; 1 reproduces tuple-at-a-time execution exactly.
+  int batch_size = 0;
+  // Morsel-driven intra-plan parallelism: when > 1 and an output's plan is
+  // a streaming scan pipeline (filters/projections/join probe sides over a
+  // base-table scan), up to this many workers claim row-range morsels of
+  // the driving scan. Output order stays identical to sequential execution
+  // (per-morsel buckets are reassembled in morsel order). 0 =
+  // XNFDB_MORSEL_WORKERS env var or 1. Disabled in analyze mode.
+  int morsel_workers = 0;
+  // Rows per claimed morsel. 0 = XNFDB_MORSEL_ROWS env var or 2048.
+  int64_t morsel_rows = 0;
   // EXPLAIN ANALYZE: instrument operators with wall-time measurement and
   // fill QueryResult::plan_texts with annotated plan trees.
   bool analyze = false;

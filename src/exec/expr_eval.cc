@@ -8,23 +8,38 @@
 
 namespace xnfdb {
 
+void Layout::Add(int quant_id, size_t offset, size_t arity) {
+  for (Slot& s : slots_) {
+    if (s.id == quant_id) {
+      s.offset = offset;
+      s.arity = arity;
+      return;
+    }
+  }
+  Slot slot{quant_id, offset, arity};
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), quant_id,
+      [](const Slot& s, int id) { return s.id < id; });
+  slots_.insert(it, slot);
+}
+
 size_t Layout::TotalWidth() const {
   size_t width = 0;
-  for (const auto& [id, slot] : slots_) {
-    width = std::max(width, slot.first + slot.second);
+  for (const Slot& s : slots_) {
+    width = std::max(width, s.offset + s.arity);
   }
   return width;
 }
 
 std::vector<int> Layout::QuantIds() const {
   std::vector<int> ids;
-  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  for (const Slot& s : slots_) ids.push_back(s.id);
   return ids;
 }
 
 void Layout::Append(const Layout& other, size_t shift) {
-  for (const auto& [id, slot] : other.slots_) {
-    slots_[id] = {slot.first + shift, slot.second};
+  for (const Slot& s : other.slots_) {
+    Add(s.id, s.offset + shift, s.arity);
   }
 }
 
@@ -46,31 +61,41 @@ Result<Value> EvalExpr(const qgm::Expr& e, const Layout& layout,
       return row[idx];
     }
     case Kind::kBinary: {
-      if (e.op == "AND" || e.op == "OR") {
-        XNFDB_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, layout, row));
-        XNFDB_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, layout, row));
-        // Three-valued logic.
-        bool lnull = l.is_null(), rnull = r.is_null();
-        bool lv = !lnull && l.type() == DataType::kBool && l.AsBool();
-        bool rv = !rnull && r.type() == DataType::kBool && r.AsBool();
-        if (e.op == "AND") {
-          if (!lnull && !lv) return Value(false);
-          if (!rnull && !rv) return Value(false);
-          if (lnull || rnull) return Value::Null();
-          return Value(true);
-        }
-        if (!lnull && lv) return Value(true);
-        if (!rnull && rv) return Value(true);
-        if (lnull || rnull) return Value::Null();
-        return Value(false);
-      }
+      using BinOp = qgm::Expr::BinOp;
       XNFDB_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.lhs, layout, row));
       XNFDB_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.rhs, layout, row));
-      if (e.op == "+") return Value::Add(l, r);
-      if (e.op == "-") return Value::Sub(l, r);
-      if (e.op == "*") return Value::Mul(l, r);
-      if (e.op == "/") return Value::Div(l, r);
-      return Value::Compare(l, r, e.op);
+      switch (e.bin_op) {
+        case BinOp::kAnd:
+        case BinOp::kOr: {
+          // Three-valued logic.
+          bool lnull = l.is_null(), rnull = r.is_null();
+          bool lv = !lnull && l.type() == DataType::kBool && l.AsBool();
+          bool rv = !rnull && r.type() == DataType::kBool && r.AsBool();
+          if (e.bin_op == BinOp::kAnd) {
+            if (!lnull && !lv) return Value(false);
+            if (!rnull && !rv) return Value(false);
+            if (lnull || rnull) return Value::Null();
+            return Value(true);
+          }
+          if (!lnull && lv) return Value(true);
+          if (!rnull && rv) return Value(true);
+          if (lnull || rnull) return Value::Null();
+          return Value(false);
+        }
+        case BinOp::kAdd:
+          return Value::Add(l, r);
+        case BinOp::kSub:
+          return Value::Sub(l, r);
+        case BinOp::kMul:
+          return Value::Mul(l, r);
+        case BinOp::kDiv:
+          return Value::Div(l, r);
+        case BinOp::kCmp:
+          return Value::Compare(l, r, e.cmp_op);
+        case BinOp::kNone:
+          break;
+      }
+      return Status::Internal("unresolved binary operator " + e.op);
     }
     case Kind::kUnary: {
       XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.lhs, layout, row));

@@ -7,7 +7,6 @@
 #ifndef XNFDB_EXEC_EXPR_EVAL_H_
 #define XNFDB_EXEC_EXPR_EVAL_H_
 
-#include <map>
 #include <vector>
 
 #include "common/status.h"
@@ -16,15 +15,16 @@
 
 namespace xnfdb {
 
-// Maps quantifier ids to column offsets within a combined tuple.
+// Maps quantifier ids to column offsets within a combined tuple. Backed by
+// a small id-sorted vector: layouts hold a handful of quantifiers and are
+// probed on every column reference, so a linear scan over contiguous slots
+// beats tree lookups on the hot path.
 class Layout {
  public:
-  void Add(int quant_id, size_t offset, size_t arity) {
-    slots_[quant_id] = {offset, arity};
-  }
-  bool Has(int quant_id) const { return slots_.count(quant_id) != 0; }
-  size_t Offset(int quant_id) const { return slots_.at(quant_id).first; }
-  size_t Arity(int quant_id) const { return slots_.at(quant_id).second; }
+  void Add(int quant_id, size_t offset, size_t arity);
+  bool Has(int quant_id) const { return Find(quant_id) != nullptr; }
+  size_t Offset(int quant_id) const { return Find(quant_id)->offset; }
+  size_t Arity(int quant_id) const { return Find(quant_id)->arity; }
   size_t TotalWidth() const;
   std::vector<int> QuantIds() const;
 
@@ -32,7 +32,22 @@ class Layout {
   void Append(const Layout& other, size_t shift);
 
  private:
-  std::map<int, std::pair<size_t, size_t>> slots_;  // id -> (offset, arity)
+  struct Slot {
+    int id;
+    size_t offset;
+    size_t arity;
+  };
+
+  // Null when absent; Offset/Arity require a present id (as the old
+  // map::at did, minus the exception).
+  const Slot* Find(int quant_id) const {
+    for (const Slot& s : slots_) {
+      if (s.id == quant_id) return &s;
+    }
+    return nullptr;
+  }
+
+  std::vector<Slot> slots_;  // sorted by id
 };
 
 // Evaluates `e` against `row` (combined tuple described by `layout`).

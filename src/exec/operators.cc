@@ -17,7 +17,8 @@ std::string ExecStats::ToString() const {
      << " join_probes=" << join_probes << " exists_probes=" << exists_probes
      << " spool_builds=" << spool_builds
      << " spool_read_rows=" << spool_read_rows << " output=" << rows_output
-     << " operators=" << operators_created;
+     << " operators=" << operators_created
+     << " batches=" << batches_emitted << " morsels=" << morsels_claimed;
   return os.str();
 }
 
@@ -30,6 +31,14 @@ void ExecStats::PublishTo(obs::MetricsRegistry* registry) const {
   registry->GetCounter("exec.spool_read_rows")->Increment(spool_read_rows);
   registry->GetCounter("exec.rows_output")->Increment(rows_output);
   registry->GetCounter("exec.operators_created")->Increment(operators_created);
+  registry->GetCounter("exec.batches_emitted")->Increment(batches_emitted);
+  registry->GetCounter("exec.morsels_claimed")->Increment(morsels_claimed);
+  registry->GetCounter("exec.batches_scan")->Increment(batches_scan);
+  registry->GetCounter("exec.batches_spool")->Increment(batches_spool);
+  registry->GetCounter("exec.batches_filter")->Increment(batches_filter);
+  registry->GetCounter("exec.batches_project")->Increment(batches_project);
+  registry->GetCounter("exec.batches_join")->Increment(batches_join);
+  registry->GetCounter("exec.batches_exists")->Increment(batches_exists);
 }
 
 // --- Operator lifecycle wrappers -------------------------------------------
@@ -66,6 +75,39 @@ Result<bool> Operator::Next(Tuple* row) {
   return r;
 }
 
+Result<bool> Operator::NextBatch(TupleBatch* out) {
+  out->Clear();
+  if (!analyze_) {
+    Result<bool> r = NextBatchImpl(out);
+    if (r.ok() && r.value()) {
+      actuals_.rows += static_cast<int64_t>(out->ActiveCount());
+      ++actuals_.batches;
+    }
+    return r;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<bool> r = NextBatchImpl(out);
+  actuals_.ns += ElapsedNs(t0);
+  if (r.ok() && r.value()) {
+    actuals_.rows += static_cast<int64_t>(out->ActiveCount());
+    ++actuals_.batches;
+  }
+  return r;
+}
+
+Result<bool> Operator::NextBatchImpl(TupleBatch* out) {
+  while (!out->Full()) {
+    Tuple& row = out->AppendRow();  // filled in place to reuse slot buffers
+    Result<bool> more = NextImpl(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) {
+      out->DropLastRow();
+      break;
+    }
+  }
+  return !out->Empty();
+}
+
 void Operator::Close() {
   if (!analyze_) {
     CloseImpl();
@@ -89,21 +131,33 @@ void Operator::SelfLine(int depth, const std::string& text,
   }
   std::ostringstream os;
   os << text << " (actual rows=" << actuals_.rows
-     << " loops=" << actuals_.loops << " time=" << std::fixed
-     << std::setprecision(3)
+     << " loops=" << actuals_.loops;
+  if (actuals_.batches > 0) os << " batches=" << actuals_.batches;
+  os << " time=" << std::fixed << std::setprecision(3)
      << static_cast<double>(actuals_.ns) / 1e6 << "ms)";
   ExplainLine(depth, os.str(), out);
 }
 
-Result<std::vector<Tuple>> DrainOperator(Operator* op) {
+Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size) {
   std::vector<Tuple> rows;
   XNFDB_RETURN_IF_ERROR(op->Open());
-  Tuple row;
-  while (true) {
-    XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
-    if (!more) break;
-    rows.push_back(std::move(row));
-    row = Tuple();
+  if (batch_size <= 1) {
+    Tuple row;
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+      if (!more) break;
+      rows.push_back(std::move(row));
+      row = Tuple();
+    }
+  } else {
+    TupleBatch batch(static_cast<size_t>(batch_size));
+    while (true) {
+      XNFDB_ASSIGN_OR_RETURN(bool more, op->NextBatch(&batch));
+      if (!more) break;
+      for (size_t i = 0; i < batch.ActiveCount(); ++i) {
+        rows.push_back(std::move(batch.Active(i)));
+      }
+    }
   }
   op->Close();
   return rows;
@@ -111,15 +165,49 @@ Result<std::vector<Tuple>> DrainOperator(Operator* op) {
 
 // --- sources ---------------------------------------------------------------
 
+bool ScanOp::ClaimMorsel() {
+  uint64_t m = morsels_->next.fetch_add(1, std::memory_order_relaxed);
+  Rid start = static_cast<Rid>(m) * morsels_->rows_per_morsel;
+  if (start >= morsels_->bound) return false;
+  rid_ = start;
+  morsel_end_ = std::min(morsels_->bound, start + morsels_->rows_per_morsel);
+  current_morsel_ = static_cast<int64_t>(m);
+  if (stats_ != nullptr) ++stats_->morsels_claimed;
+  return true;
+}
+
 Result<bool> ScanOp::NextImpl(Tuple* row) {
-  while (rid_ < table_->rid_bound()) {
-    Rid r = rid_++;
-    if (!table_->IsLive(r)) continue;
-    *row = table_->Get(r);
-    if (stats_ != nullptr) ++stats_->rows_scanned;
-    return true;
+  while (true) {
+    Rid end = morsels_ != nullptr ? morsel_end_ : table_->rid_bound();
+    while (rid_ < end) {
+      Rid r = rid_++;
+      if (!table_->IsLive(r)) continue;
+      *row = table_->Get(r);
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+      return true;
+    }
+    if (morsels_ == nullptr || !ClaimMorsel()) return false;
   }
-  return false;
+}
+
+Result<bool> ScanOp::NextBatchImpl(TupleBatch* out) {
+  while (!out->Full()) {
+    Rid end = morsels_ != nullptr ? morsel_end_ : table_->rid_bound();
+    while (rid_ < end && !out->Full()) {
+      Rid r = rid_++;
+      if (!table_->IsLive(r)) continue;
+      out->AppendRow() = table_->Get(r);  // copy-assign reuses slot buffers
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+    }
+    if (rid_ < end) break;  // batch filled mid-range
+    if (morsels_ == nullptr) break;
+    // A batch never spans morsels: downstream tags each emitted batch with
+    // current_morsel() to reassemble deterministic output order.
+    if (!out->Empty()) break;
+    if (!ClaimMorsel()) break;
+  }
+  if (!out->Empty() && stats_ != nullptr) ++stats_->batches_scan;
+  return !out->Empty();
 }
 
 Status VirtualScanOp::OpenImpl() {
@@ -190,6 +278,15 @@ Result<bool> MaterializedOp::NextImpl(Tuple* row) {
   return true;
 }
 
+Result<bool> MaterializedOp::NextBatchImpl(TupleBatch* out) {
+  while (pos_ < rows_->size() && !out->Full()) {
+    out->AppendRow() = (*rows_)[pos_++];
+    if (stats_ != nullptr) ++stats_->spool_read_rows;
+  }
+  if (!out->Empty() && stats_ != nullptr) ++stats_->batches_spool;
+  return !out->Empty();
+}
+
 // --- row transforms -----------------------------------------------------------
 
 Result<bool> FilterOp::NextImpl(Tuple* row) {
@@ -208,6 +305,29 @@ Result<bool> FilterOp::NextImpl(Tuple* row) {
   }
 }
 
+Result<bool> FilterOp::NextBatchImpl(TupleBatch* out) {
+  XNFDB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  // Mark instead of copy: compact the selection vector in place.
+  std::vector<uint32_t>& sel = out->sel();
+  size_t kept = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const Tuple& row = out->rows()[sel[i]];
+    bool pass = true;
+    for (const qgm::Expr* p : preds_) {
+      XNFDB_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, layout_, row));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) sel[kept++] = sel[i];
+  }
+  sel.resize(kept);
+  if (stats_ != nullptr) ++stats_->batches_filter;
+  return true;
+}
+
 Result<bool> ProjectOp::NextImpl(Tuple* row) {
   Tuple input;
   XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
@@ -218,6 +338,26 @@ Result<bool> ProjectOp::NextImpl(Tuple* row) {
     XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, layout_, input));
     row->push_back(std::move(v));
   }
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatchImpl(TupleBatch* out) {
+  if (in_ == nullptr || in_->capacity() != out->capacity()) {
+    in_ = std::make_unique<TupleBatch>(out->capacity());
+  }
+  XNFDB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(in_.get()));
+  if (!more) return false;
+  for (size_t i = 0; i < in_->ActiveCount(); ++i) {
+    const Tuple& input = in_->Active(i);
+    Tuple& row = out->AppendRow();  // reuses the slot's vector capacity
+    row.clear();
+    row.reserve(exprs_.size());
+    for (const qgm::Expr* e : exprs_) {
+      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, layout_, input));
+      row.push_back(std::move(v));
+    }
+  }
+  if (stats_ != nullptr) ++stats_->batches_project;
   return true;
 }
 
@@ -277,6 +417,18 @@ Result<bool> LimitOp::NextImpl(Tuple* row) {
 Status HashJoinOp::OpenImpl() {
   XNFDB_RETURN_IF_ERROR(left_->Open());
   XNFDB_RETURN_IF_ERROR(right_->Open());
+  // Resolve all-ColRef probe keys to flat column offsets once, so per-row
+  // probing indexes directly instead of walking the expression tree.
+  left_key_cols_.clear();
+  left_keys_flat_ = !left_keys_.empty();
+  for (const qgm::Expr* k : left_keys_) {
+    if (k->kind != qgm::Expr::Kind::kColRef || !left_layout_.Has(k->quant_id)) {
+      left_keys_flat_ = false;
+      break;
+    }
+    left_key_cols_.push_back(left_layout_.Offset(k->quant_id) +
+                             static_cast<size_t>(k->column));
+  }
   build_.clear();
   Tuple row;
   while (true) {
@@ -297,6 +449,28 @@ Status HashJoinOp::OpenImpl() {
   matches_ = nullptr;
   match_pos_ = 0;
   return Status::Ok();
+}
+
+Result<bool> HashJoinOp::ProbeKey(const Tuple& row, Tuple* key) const {
+  key->clear();
+  key->reserve(left_keys_.size());
+  if (left_keys_flat_) {
+    for (size_t col : left_key_cols_) {
+      if (col >= row.size()) {
+        return Status::Internal("join key column beyond combined row");
+      }
+      if (row[col].is_null()) return false;
+      key->push_back(row[col]);
+    }
+    return true;
+  }
+  bool null_key = false;
+  for (const qgm::Expr* k : left_keys_) {
+    XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, left_layout_, row));
+    if (v.is_null()) null_key = true;
+    key->push_back(std::move(v));
+  }
+  return !null_key;
 }
 
 Result<bool> HashJoinOp::NextImpl(Tuple* row) {
@@ -321,20 +495,54 @@ Result<bool> HashJoinOp::NextImpl(Tuple* row) {
     XNFDB_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
     if (!more) return false;
     if (stats_ != nullptr) ++stats_->join_probes;
-    Tuple key;
-    key.reserve(left_keys_.size());
-    bool null_key = false;
-    for (const qgm::Expr* k : left_keys_) {
-      XNFDB_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, left_layout_, current_left_));
-      if (v.is_null()) null_key = true;
-      key.push_back(std::move(v));
-    }
     matches_ = nullptr;
     match_pos_ = 0;
-    if (null_key) continue;
+    Tuple key;
+    XNFDB_ASSIGN_OR_RETURN(bool usable, ProbeKey(current_left_, &key));
+    if (!usable) continue;
     auto it = build_.find(key);
     if (it != build_.end()) matches_ = &it->second;
   }
+}
+
+Status HashJoinOp::ProbeInto(const Tuple& left, TupleBatch* out) {
+  if (stats_ != nullptr) ++stats_->join_probes;
+  Tuple key;
+  XNFDB_ASSIGN_OR_RETURN(bool usable, ProbeKey(left, &key));
+  if (!usable) return Status::Ok();
+  auto it = build_.find(key);
+  if (it == build_.end()) return Status::Ok();
+  for (const Tuple& right_row : it->second) {
+    Tuple& combined = out->AppendRow();  // retracted below if residual fails
+    combined.clear();
+    combined.reserve(left.size() + right_row.size());
+    combined.insert(combined.end(), left.begin(), left.end());
+    combined.insert(combined.end(), right_row.begin(), right_row.end());
+    bool pass = true;
+    for (const qgm::Expr* p : residual_) {
+      XNFDB_ASSIGN_OR_RETURN(bool ok,
+                             EvalPredicate(*p, combined_layout_, combined));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) out->DropLastRow();
+  }
+  return Status::Ok();
+}
+
+Result<bool> HashJoinOp::NextBatchImpl(TupleBatch* out) {
+  if (left_batch_ == nullptr || left_batch_->capacity() != out->capacity()) {
+    left_batch_ = std::make_unique<TupleBatch>(out->capacity());
+  }
+  XNFDB_ASSIGN_OR_RETURN(bool more, left_->NextBatch(left_batch_.get()));
+  if (!more) return false;
+  for (size_t i = 0; i < left_batch_->ActiveCount(); ++i) {
+    XNFDB_RETURN_IF_ERROR(ProbeInto(left_batch_->Active(i), out));
+  }
+  if (stats_ != nullptr) ++stats_->batches_join;
+  return true;
 }
 
 Status NLJoinOp::OpenImpl() {
@@ -386,23 +594,31 @@ Result<bool> NLJoinOp::NextImpl(Tuple* row) {
 
 // --- existential checks ----------------------------------------------------------
 
+Status ExistsFilterOp::OpenImpl() {
+  // Group indexes are built up front (not lazily on the first probing row):
+  // probes may come from several morsel workers or batch loops, and a
+  // mid-stream index build would be a data race / repeated work.
+  for (GroupCheck& g : groups_) {
+    if (naive_ || g.equi_outer.empty() || g.index_built) continue;
+    for (size_t i = 0; i < g.rows->size(); ++i) {
+      Tuple key;
+      key.reserve(g.equi_inner.size());
+      bool null_key = false;
+      for (const qgm::Expr* k : g.equi_inner) {
+        XNFDB_ASSIGN_OR_RETURN(Value v,
+                               EvalExpr(*k, g.group_layout, (*g.rows)[i]));
+        if (v.is_null()) null_key = true;
+        key.push_back(std::move(v));
+      }
+      if (!null_key) g.index[std::move(key)].push_back(i);
+    }
+    g.index_built = true;
+  }
+  return child_->Open();
+}
+
 Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
   if (!g->equi_outer.empty() && !naive_) {
-    if (!g->index_built) {
-      for (size_t i = 0; i < g->rows->size(); ++i) {
-        Tuple key;
-        key.reserve(g->equi_inner.size());
-        bool null_key = false;
-        for (const qgm::Expr* k : g->equi_inner) {
-          XNFDB_ASSIGN_OR_RETURN(Value v,
-                                 EvalExpr(*k, g->group_layout, (*g->rows)[i]));
-          if (v.is_null()) null_key = true;
-          key.push_back(std::move(v));
-        }
-        if (!null_key) g->index[std::move(key)].push_back(i);
-      }
-      g->index_built = true;
-    }
     Tuple key;
     key.reserve(g->equi_outer.size());
     for (const qgm::Expr* k : g->equi_outer) {
@@ -444,7 +660,7 @@ Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
           Value lv, EvalExpr(*g->equi_outer[i], outer_layout_, outer));
       XNFDB_ASSIGN_OR_RETURN(
           Value rv, EvalExpr(*g->equi_inner[i], g->group_layout, group_row));
-      Value eq = Value::Compare(lv, rv, "=");
+      Value eq = Value::Compare(lv, rv, CompareOp::kEq);
       if (eq.is_null() || !eq.AsBool()) {
         pass = false;
         break;
@@ -465,32 +681,46 @@ Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
   return false;
 }
 
+Result<bool> ExistsFilterOp::RowPasses(const Tuple& row) {
+  if (disjunctive_) {
+    bool pass = groups_.empty();
+    for (GroupCheck& g : groups_) {
+      XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, row));
+      if (match != g.negated) {
+        pass = true;
+        break;
+      }
+    }
+    return pass;
+  }
+  for (GroupCheck& g : groups_) {
+    XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, row));
+    if (match == g.negated) return false;
+  }
+  return true;
+}
+
 Result<bool> ExistsFilterOp::NextImpl(Tuple* row) {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
-    bool pass;
-    if (disjunctive_) {
-      pass = groups_.empty();
-      for (GroupCheck& g : groups_) {
-        XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, *row));
-        if (match != g.negated) {
-          pass = true;
-          break;
-        }
-      }
-    } else {
-      pass = true;
-      for (GroupCheck& g : groups_) {
-        XNFDB_ASSIGN_OR_RETURN(bool match, GroupMatches(&g, *row));
-        if (match == g.negated) {
-          pass = false;
-          break;
-        }
-      }
-    }
+    XNFDB_ASSIGN_OR_RETURN(bool pass, RowPasses(*row));
     if (pass) return true;
   }
+}
+
+Result<bool> ExistsFilterOp::NextBatchImpl(TupleBatch* out) {
+  XNFDB_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  std::vector<uint32_t>& sel = out->sel();
+  size_t kept = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    XNFDB_ASSIGN_OR_RETURN(bool pass, RowPasses(out->rows()[sel[i]]));
+    if (pass) sel[kept++] = sel[i];
+  }
+  sel.resize(kept);
+  if (stats_ != nullptr) ++stats_->batches_exists;
+  return true;
 }
 
 // --- set operations ---------------------------------------------------------------

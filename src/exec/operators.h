@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "exec/batch.h"
 #include "exec/expr_eval.h"
 #include "qgm/qgm.h"
 #include "storage/table.h"
@@ -75,11 +76,37 @@ struct ExecStats {
   StatCounter spool_read_rows;    // rows served from spools
   StatCounter rows_output;        // rows leaving Top
   StatCounter operators_created;
+  StatCounter batches_emitted;    // batches delivered into output streams
+  StatCounter morsels_claimed;    // scan morsels claimed by workers
+  // Per-operator-kind native batch counts (vectorization visibility).
+  StatCounter batches_scan;
+  StatCounter batches_spool;
+  StatCounter batches_filter;
+  StatCounter batches_project;
+  StatCounter batches_join;
+  StatCounter batches_exists;
 
   std::string ToString() const;
   // Adds every counter into `registry` under `exec.<counter>` (the unified
   // observability snapshot exposed by Database::MetricsJson).
   void PublishTo(obs::MetricsRegistry* registry) const;
+};
+
+class ScanOp;
+
+// Shared morsel dispenser for one morsel-parallel scan (HyPer-style):
+// worker threads claim fixed-size row ranges [m * rows_per_morsel,
+// (m+1) * rows_per_morsel) from the atomic cursor. `bound` is the scan's
+// rid bound, captured when the dispenser is created.
+struct ScanMorsels {
+  Rid bound = 0;
+  Rid rows_per_morsel = 2048;
+  std::atomic<uint64_t> next{0};
+
+  uint64_t MorselCount() const {
+    if (bound == 0 || rows_per_morsel == 0) return 0;
+    return (bound + rows_per_morsel - 1) / rows_per_morsel;
+  }
 };
 
 class Operator {
@@ -91,6 +118,11 @@ class Operator {
   Status Open();
   // Produces the next row into `*row`; returns false at end of stream.
   Result<bool> Next(Tuple* row);
+  // Produces the next batch into `*out` (cleared first); returns false at
+  // end of stream. A true return with ActiveCount() == 0 is a fully
+  // filtered batch — keep pulling. Operators without a native batch
+  // implementation fall back to looping NextImpl.
+  Result<bool> NextBatch(TupleBatch* out);
   void Close();
 
   // Appends a one-line-per-operator rendering of this plan subtree to
@@ -102,9 +134,10 @@ class Operator {
   // measured around this operator's Next calls, which pull from children),
   // and is only collected in analyze mode; rows/loops are always counted.
   struct Actuals {
-    int64_t loops = 0;  // Open calls
-    int64_t rows = 0;   // rows produced, across all loops
-    int64_t ns = 0;     // inclusive wall time (analyze mode only)
+    int64_t loops = 0;    // Open calls
+    int64_t rows = 0;     // rows produced, across all loops
+    int64_t batches = 0;  // NextBatch calls that produced a batch
+    int64_t ns = 0;       // inclusive wall time (analyze mode only)
   };
   const Actuals& actuals() const { return actuals_; }
 
@@ -116,9 +149,22 @@ class Operator {
   // Direct children of this operator in the plan tree.
   virtual std::vector<Operator*> Children() { return {}; }
 
+  // Morsel-driven scan support: returns the base-table scan that drives
+  // this pipeline by descending through order-preserving streaming
+  // operators (filters, projections, existential filters, join probe
+  // sides), or null when the pipeline has an order/dedup/aggregation
+  // -sensitive breaker (sort, distinct, aggregate, limit, union) or a
+  // non-scan source. Only that driver scan may be morselized — splitting a
+  // join build side or a union branch across workers would compute wrong
+  // results.
+  virtual ScanOp* MorselDriver() { return nullptr; }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(Tuple* row) = 0;
+  // Default adapter: loops NextImpl until the batch is full. Native batch
+  // operators override this.
+  virtual Result<bool> NextBatchImpl(TupleBatch* out);
   virtual void CloseImpl() = 0;
   virtual void ExplainImpl(int depth, std::string* out) const = 0;
 
@@ -136,31 +182,57 @@ void ExplainLine(int depth, const std::string& text, std::string* out);
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-// Drains `op` completely (Open/Next*/Close) into a vector.
-Result<std::vector<Tuple>> DrainOperator(Operator* op);
+// Drains `op` completely (Open/Next*/Close) into a vector. `batch_size`
+// selects the pull granularity; <= 1 keeps the classic row loop.
+Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size = 1);
 
 // --- sources ---------------------------------------------------------------
 
-// Full scan of a base table.
+// Full scan of a base table. Optionally driven by a shared ScanMorsels
+// dispenser, in which case this instance only reads the row ranges it
+// claims (several plan clones over the same dispenser cover the table
+// exactly once, in parallel).
 class ScanOp : public Operator {
  public:
   ScanOp(const Table* table, ExecStats* stats)
       : table_(table), stats_(stats) {}
 
+  const Table* table() const { return table_; }
+
+  // Attaches a shared morsel dispenser; call before Open.
+  void ShareMorsels(std::shared_ptr<ScanMorsels> morsels) {
+    morsels_ = std::move(morsels);
+  }
+
+  // Morsel id the most recently returned row/batch came from (-1 before
+  // the first claim). Under morsel execution a batch never spans morsels.
+  int64_t current_morsel() const { return current_morsel_; }
+
+  ScanOp* MorselDriver() override { return this; }
+
  protected:
   Status OpenImpl() override {
     rid_ = 0;
+    morsel_end_ = 0;
+    current_morsel_ = -1;
     return Status::Ok();
   }
   Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override {}
 
   void ExplainImpl(int depth, std::string* out) const override;
 
  private:
+  // Claims the next morsel; false when the table is exhausted.
+  bool ClaimMorsel();
+
   const Table* table_;
   ExecStats* stats_;
   Rid rid_ = 0;
+  std::shared_ptr<ScanMorsels> morsels_;
+  Rid morsel_end_ = 0;  // exclusive end of the claimed range (morsel mode)
+  int64_t current_morsel_ = -1;
 };
 
 // Scan over a virtual system table (storage/sysview.h): the provider's
@@ -253,6 +325,7 @@ class MaterializedOp : public Operator {
     return Status::Ok();
   }
   Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override {}
 
   void ExplainImpl(int depth, std::string* out) const override;
@@ -268,16 +341,21 @@ class MaterializedOp : public Operator {
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<const qgm::Expr*> preds,
-           Layout layout)
+           Layout layout, ExecStats* stats = nullptr)
       : child_(std::move(child)),
         preds_(std::move(preds)),
-        layout_(std::move(layout)) {}
+        layout_(std::move(layout)),
+        stats_(stats) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  ScanOp* MorselDriver() override { return child_->MorselDriver(); }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
   Result<bool> NextImpl(Tuple* row) override;
+  // Pulls the child's batch into `out` and deselects failing rows in the
+  // selection vector — no row copies.
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override { child_->Close(); }
 
   void ExplainImpl(int depth, std::string* out) const override;
@@ -286,21 +364,25 @@ class FilterOp : public Operator {
   OperatorPtr child_;
   std::vector<const qgm::Expr*> preds_;
   Layout layout_;
+  ExecStats* stats_;
 };
 
 class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<const qgm::Expr*> exprs,
-            Layout layout)
+            Layout layout, ExecStats* stats = nullptr)
       : child_(std::move(child)),
         exprs_(std::move(exprs)),
-        layout_(std::move(layout)) {}
+        layout_(std::move(layout)),
+        stats_(stats) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  ScanOp* MorselDriver() override { return child_->MorselDriver(); }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
   Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override { child_->Close(); }
 
   void ExplainImpl(int depth, std::string* out) const override;
@@ -309,6 +391,8 @@ class ProjectOp : public Operator {
   OperatorPtr child_;
   std::vector<const qgm::Expr*> exprs_;
   Layout layout_;
+  ExecStats* stats_;
+  std::unique_ptr<TupleBatch> in_;  // child-side batch (batch mode only)
 };
 
 class DistinctOp : public Operator {
@@ -404,10 +488,16 @@ class HashJoinOp : public Operator {
   std::vector<Operator*> Children() override {
     return {left_.get(), right_.get()};
   }
+  // Probe (left) side only: the build side must be fully built by every
+  // worker, so it is never morselized.
+  ScanOp* MorselDriver() override { return left_->MorselDriver(); }
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* row) override;
+  // Probes one whole left batch per call, emitting every match (output may
+  // exceed the nominal capacity — no probe state is carried across calls).
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override {
     left_->Close();
     right_->Close();
@@ -416,6 +506,12 @@ class HashJoinOp : public Operator {
   void ExplainImpl(int depth, std::string* out) const override;
 
  private:
+  // Evaluates the probe-side key exprs against `row`; true result means a
+  // usable (NULL-free) key in `*key`.
+  Result<bool> ProbeKey(const Tuple& row, Tuple* key) const;
+  // Emits all surviving build matches of left row `left` into `out`.
+  Status ProbeInto(const Tuple& left, TupleBatch* out);
+
   OperatorPtr left_;
   OperatorPtr right_;  // build side
   std::vector<const qgm::Expr*> left_keys_;
@@ -427,9 +523,13 @@ class HashJoinOp : public Operator {
   ExecStats* stats_;
 
   std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> build_;
+  // All-ColRef probe keys resolve to flat column offsets once at Open.
+  std::vector<size_t> left_key_cols_;
+  bool left_keys_flat_ = false;
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_pos_ = 0;
+  std::unique_ptr<TupleBatch> left_batch_;  // probe-side batch (batch mode)
 };
 
 // Nested-loop join (inner side materialized) for non-equi predicates.
@@ -488,7 +588,8 @@ struct GroupCheck {
   // Remaining correlated predicates over the combined layout.
   std::vector<const qgm::Expr*> residual;
 
-  // Lazily built hash over `rows` keyed by equi_inner.
+  // Hash over `rows` keyed by equi_inner, built once at Open (probes may
+  // run concurrently under morsel parallelism; they never mutate this).
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> index;
   bool index_built = false;
 };
@@ -513,16 +614,21 @@ class ExistsFilterOp : public Operator {
         stats_(stats) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  ScanOp* MorselDriver() override { return child_->MorselDriver(); }
 
  protected:
-  Status OpenImpl() override { return child_->Open(); }
+  // Builds every group's hash index up front: shared-plan morsel workers
+  // and batch probes must never mutate a group mid-stream.
+  Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
   void CloseImpl() override { child_->Close(); }
 
   void ExplainImpl(int depth, std::string* out) const override;
 
  private:
   Result<bool> GroupMatches(GroupCheck* g, const Tuple& outer);
+  Result<bool> RowPasses(const Tuple& row);
 
   OperatorPtr child_;
   std::vector<GroupCheck> groups_;

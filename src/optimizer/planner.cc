@@ -88,7 +88,8 @@ Result<std::shared_ptr<const std::vector<Tuple>>> Planner::MaterializeBox(
   auto it = spools_.find(box_id);
   if (it != spools_.end()) return it->second;
   XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, CompileBox(box_id));
-  XNFDB_ASSIGN_OR_RETURN(std::vector<Tuple> rows, DrainOperator(op.get()));
+  XNFDB_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                         DrainOperator(op.get(), options_.batch_size));
   if (stats_ != nullptr) ++stats_->spool_builds;
   auto shared = std::make_shared<const std::vector<Tuple>>(std::move(rows));
   spools_[box_id] = shared;
@@ -251,7 +252,8 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   if (!pushed.empty()) {
     Layout layout;
     layout.Add(q.id, 0, source->HeadArity());
-    op = std::make_unique<FilterOp>(std::move(op), std::move(pushed), layout);
+    op = std::make_unique<FilterOp>(std::move(op), std::move(pushed), layout,
+                                    stats_);
   }
   return op;
 }
@@ -507,8 +509,8 @@ Result<OperatorPtr> Planner::BuildJoinTree(
     if (!pred_used[i]) leftover.push_back(join_preds[i]);
   }
   if (!leftover.empty()) {
-    current = std::make_unique<FilterOp>(std::move(current),
-                                         std::move(leftover), current_layout);
+    current = std::make_unique<FilterOp>(
+        std::move(current), std::move(leftover), current_layout, stats_);
   }
   *layout = current_layout;
   return current;
@@ -551,8 +553,9 @@ Result<OperatorPtr> Planner::CompileSelect(const Box& box) {
       Layout group_layout;
       XNFDB_ASSIGN_OR_RETURN(OperatorPtr gop,
                              BuildJoinTree(gquants, internal, &group_layout));
-      XNFDB_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                             DrainOperator(gop.get()));
+      XNFDB_ASSIGN_OR_RETURN(
+          std::vector<Tuple> rows,
+          DrainOperator(gop.get(), options_.batch_size));
       check.rows =
           std::make_shared<const std::vector<Tuple>>(std::move(rows));
       check.group_layout = group_layout;
@@ -608,9 +611,8 @@ Result<OperatorPtr> Planner::CompileSelect(const Box& box) {
   } else {
     std::vector<const Expr*> exprs;
     for (const qgm::HeadColumn& h : box.head) exprs.push_back(h.expr.get());
-    current =
-        std::make_unique<ProjectOp>(std::move(current), std::move(exprs),
-                                    layout);
+    current = std::make_unique<ProjectOp>(std::move(current),
+                                          std::move(exprs), layout, stats_);
   }
 
   if (box.distinct) {

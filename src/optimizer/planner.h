@@ -35,6 +35,10 @@ struct PlanOptions {
   // EXPLAIN ANALYZE: operators returned by BoxIterator measure inclusive
   // wall time per Next call (row/loop counting is always on).
   bool analyze = false;
+  // Pull granularity for plan-time materialization (spools, existential
+  // group builds). <= 1 drains row-at-a-time; the executor passes its
+  // resolved ExecOptions::batch_size through here.
+  int batch_size = 1;
 };
 
 // Compiles boxes of one QueryGraph into operators. The planner owns the

@@ -32,6 +32,21 @@ ExprPtr Expr::MakeColRef(int quant_id, int column) {
 ExprPtr Expr::MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
   auto e = std::make_unique<Expr>();
   e->kind = Kind::kBinary;
+  if (op == "AND") {
+    e->bin_op = BinOp::kAnd;
+  } else if (op == "OR") {
+    e->bin_op = BinOp::kOr;
+  } else if (op == "+") {
+    e->bin_op = BinOp::kAdd;
+  } else if (op == "-") {
+    e->bin_op = BinOp::kSub;
+  } else if (op == "*") {
+    e->bin_op = BinOp::kMul;
+  } else if (op == "/") {
+    e->bin_op = BinOp::kDiv;
+  } else if (ParseCompareOp(op, &e->cmp_op)) {
+    e->bin_op = BinOp::kCmp;
+  }
   e->op = std::move(op);
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
@@ -79,6 +94,8 @@ ExprPtr Expr::Clone() const {
   e->quant_id = quant_id;
   e->column = column;
   e->op = op;
+  e->bin_op = bin_op;
+  e->cmp_op = cmp_op;
   e->pattern = pattern;
   e->negated = negated;
   if (lhs) e->lhs = lhs->Clone();

@@ -53,12 +53,27 @@ struct Expr {
     kFunc,      // scalar function `op` over lhs [, rhs]
   };
 
+  // Dispatch tag for kBinary, resolved from `op` once in MakeBinary so the
+  // evaluator never string-matches the operator per row.
+  enum class BinOp {
+    kNone,  // non-binary node, or unrecognized `op` (evaluation error)
+    kAnd,
+    kOr,
+    kCmp,  // cmp_op holds which comparison
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+
   Kind kind = Kind::kLiteral;
 
   Value literal;          // kLiteral
   int quant_id = -1;      // kColRef
   int column = -1;        // kColRef
   std::string op;         // kBinary / kUnary / kAgg (function name)
+  BinOp bin_op = BinOp::kNone;          // kBinary
+  CompareOp cmp_op = CompareOp::kEq;    // kBinary when bin_op == kCmp
   ExprPtr lhs;            // kBinary lhs, kUnary operand, kLike operand, kAgg arg
   ExprPtr rhs;            // kBinary rhs
   std::string pattern;    // kLike

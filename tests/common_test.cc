@@ -64,13 +64,26 @@ TEST(ValueTest, EqualityIsNullSafeAndNumericCrossType) {
 }
 
 TEST(ValueTest, ThreeValuedComparison) {
-  Value t = Value::Compare(Value(int64_t{1}), Value(int64_t{2}), "<");
+  Value t = Value::Compare(Value(int64_t{1}), Value(int64_t{2}), CompareOp::kLt);
   ASSERT_EQ(t.type(), DataType::kBool);
   EXPECT_TRUE(t.AsBool());
-  EXPECT_TRUE(Value::Compare(Value(), Value(int64_t{2}), "=").is_null());
-  EXPECT_TRUE(Value::Compare(Value(int64_t{1}), Value(), "<>").is_null());
-  EXPECT_TRUE(Value::Compare(Value("a"), Value("b"), "<=").AsBool());
-  EXPECT_FALSE(Value::Compare(Value("b"), Value("a"), "<=").AsBool());
+  EXPECT_TRUE(
+      Value::Compare(Value(), Value(int64_t{2}), CompareOp::kEq).is_null());
+  EXPECT_TRUE(
+      Value::Compare(Value(int64_t{1}), Value(), CompareOp::kNe).is_null());
+  EXPECT_TRUE(Value::Compare(Value("a"), Value("b"), CompareOp::kLe).AsBool());
+  EXPECT_FALSE(Value::Compare(Value("b"), Value("a"), CompareOp::kLe).AsBool());
+}
+
+TEST(ValueTest, ParseCompareOpCoversSqlSpellings) {
+  CompareOp op = CompareOp::kEq;
+  EXPECT_TRUE(ParseCompareOp("<>", &op));
+  EXPECT_EQ(op, CompareOp::kNe);
+  EXPECT_TRUE(ParseCompareOp(">=", &op));
+  EXPECT_EQ(op, CompareOp::kGe);
+  EXPECT_FALSE(ParseCompareOp("!=", &op));
+  EXPECT_EQ(op, CompareOp::kGe);  // untouched on failure
+  EXPECT_STREQ(CompareOpName(CompareOp::kLt), "<");
 }
 
 TEST(ValueTest, ArithmeticPromotionAndErrors) {
