@@ -9,6 +9,8 @@
 //                       plus a one-line per-phase wall-time footer
 //   .metrics            process-wide metrics snapshot as JSON
 //   .metrics table      the same snapshot, pretty-printed as a table
+//   .queries            live queries (SYS$QUERIES): id, state, progress
+//   .kill <id>          request cooperative termination of query <id>
 //   .slowlog <us>       arm the slow-query log (.slowlog off disarms)
 //   .dot <query>        emit the query graph in Graphviz DOT
 //   .save <file>        persist the database
@@ -173,9 +175,11 @@ int main() {
       if (cmd == ".help") {
         std::printf(
             ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics "
-            "[table] | .slowlog <us>|off | .save <f> | .open <f> | .quit\n"
+            "[table] | .queries | .kill <id> | .slowlog <us>|off | "
+            ".save <f> | .open <f> | .quit\n"
             "Statements end with ';'. System views: sys$metrics, "
-            "sys$histograms, sys$statements, sys$cache, sys$tables.\n");
+            "sys$histograms, sys$statements, sys$cache, sys$tables, "
+            "sys$queries.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -199,10 +203,42 @@ int main() {
                                       : plan.status().ToString().c_str());
         if (plan.ok()) PrintPhaseFooter(before, db.metrics().Snapshot());
       } else if (cmd == ".metrics") {
+        const xnfdb::GovernorOptions gopts = db.governor().options();
+        std::printf(
+            "governor: running=%lld queued=%lld max_concurrent=%lld "
+            "max_queue=%lld timeout_ms=%lld max_rows=%lld mem_bytes=%lld\n",
+            static_cast<long long>(db.governor().running()),
+            static_cast<long long>(db.governor().queued()),
+            static_cast<long long>(gopts.max_concurrent),
+            static_cast<long long>(gopts.max_queue),
+            static_cast<long long>(gopts.default_timeout_ms),
+            static_cast<long long>(gopts.default_max_result_rows),
+            static_cast<long long>(gopts.default_mem_budget_bytes));
         if (arg == "table") {
           PrintMetricsTable(db.metrics().Snapshot());
         } else {
           std::printf("%s\n", db.MetricsJson().c_str());
+        }
+      } else if (cmd == ".queries") {
+        auto result = db.Query("SELECT * FROM SYS$QUERIES");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+        }
+      } else if (cmd == ".kill") {
+        char* end = nullptr;
+        long long id = std::strtoll(arg.c_str(), &end, 10);
+        if (arg.empty() || end == arg.c_str() || *end != '\0') {
+          std::printf("usage: .kill <query id>  (see .queries for live ids)\n");
+        } else {
+          Status s = db.Cancel(id);
+          if (s.ok()) {
+            std::printf("kill requested for query %lld (cooperative: it "
+                        "terminates at its next governance check)\n", id);
+          } else {
+            std::printf("%s\n", s.ToString().c_str());
+          }
         }
       } else if (cmd == ".slowlog") {
         if (arg == "off" || arg.empty()) {

@@ -120,6 +120,11 @@ Database::Database(Env* env) : env_(env) {
   // The catalog is empty at this point, so name collisions are impossible.
   Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_);
   (void)registered;
+  // SYS$QUERIES is registered here rather than in RegisterSystemViews
+  // because it exposes api-layer state (the governor), which storage cannot
+  // depend on.
+  Status queries = catalog_.RegisterVirtualTable(MakeQueriesProvider(&governor_));
+  (void)queries;
   // Pre-register every exec.* counter at zero so SYS$METRICS exposes the
   // full execution-counter surface (including batch/morsel visibility)
   // before the first query runs.
@@ -154,21 +159,28 @@ ExecOptions Database::WithObs(const ExecOptions& eopts) {
 }
 
 void Database::RecordStatement(const Fingerprint& fp, const char* kind,
-                               bool ok, int64_t rows, int64_t total_us,
-                               int64_t compile_us, int64_t execute_us,
+                               const Status& status, int64_t rows,
+                               int64_t total_us, int64_t compile_us,
+                               int64_t execute_us,
                                const std::vector<std::string>* plan_texts) {
-  statements_.Record(fp.digest, fp.text, kind, ok, rows, total_us);
-  if (slow_query_threshold_us_ < 0 || total_us <= slow_query_threshold_us_) {
-    return;
-  }
+  statements_.Record(fp.digest, fp.text, kind, status.ok(), rows, total_us);
+  if (slow_query_threshold_us_ < 0) return;
+  // While armed, the slow-query log also attributes every governor
+  // termination — a killed or deadlined statement is exactly the kind of
+  // statement the log exists to explain, however briefly it ran.
+  const bool slow = total_us > slow_query_threshold_us_;
+  const bool governed = status.IsGovernorTermination();
+  if (!slow && !governed) return;
   std::string plan;
   if (plan_texts != nullptr) {
     for (const std::string& p : *plan_texts) plan += p;
   }
   Logger::Default().Log(
-      LogLevel::kWarn, "slowlog", "slow statement",
+      LogLevel::kWarn, "slowlog",
+      governed ? "statement terminated by governor" : "slow statement",
       {LogField::S("digest", obs::DigestHex(fp.digest)),
        LogField::S("kind", kind), LogField::S("text", fp.text),
+       LogField::S("status", status.ok() ? "OK" : status.ToString()),
        LogField::N("total_us", total_us),
        LogField::N("compile_us", compile_us),
        LogField::N("execute_us", execute_us), LogField::N("rows", rows),
@@ -188,9 +200,46 @@ Status Database::RunTimed(const ast::Statement& stmt, Outcome* outcome) {
   } else if (outcome->kind == Outcome::Kind::kAffected) {
     rows = static_cast<int64_t>(outcome->affected);
   }
-  RecordStatement(fp, StatementKindTag(stmt), status.ok(), rows, total_us,
+  RecordStatement(fp, StatementKindTag(stmt), status, rows, total_us,
                   outcome->compile_us, outcome->execute_us, plans);
   return status;
+}
+
+Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
+                                              const ExecOptions& eopts) {
+  ExecOptions eo = WithObs(eopts);
+  // A caller-supplied context is honoured as-is (its limits are the
+  // caller's business); otherwise build one from the per-call knobs,
+  // falling back to the governor's env-derived defaults (-1), with 0 as
+  // the explicit "no limit".
+  if (eo.context == nullptr) {
+    auto ctx = std::make_shared<QueryContext>();
+    GovernorOptions gopts = governor_.options();
+    QueryLimits limits;
+    int64_t timeout_ms =
+        eo.timeout_ms >= 0 ? eo.timeout_ms : gopts.default_timeout_ms;
+    if (timeout_ms > 0) {
+      // Set before Admit: time spent queued for admission counts against
+      // the deadline.
+      limits.deadline_us = QueryContext::NowUs() + timeout_ms * 1000;
+    }
+    limits.max_result_rows = eo.max_result_rows >= 0
+                                 ? eo.max_result_rows
+                                 : gopts.default_max_result_rows;
+    limits.mem_budget_bytes = eo.mem_budget_bytes >= 0
+                                  ? eo.mem_budget_bytes
+                                  : gopts.default_mem_budget_bytes;
+    ctx->SetLimits(limits);
+    eo.context = std::move(ctx);
+  }
+  XNFDB_ASSIGN_OR_RETURN(int64_t qid,
+                         governor_.Admit(compiled.normalized_text, eo.context));
+  Result<QueryResult> result =
+      compiled.needs_fixpoint
+          ? ExecuteXnfFixpoint(catalog_, *compiled.graph, eo)
+          : ExecuteGraph(catalog_, *compiled.graph, eo);
+  governor_.Release(qid, result.ok() ? Status::Ok() : result.status());
+  return result;
 }
 
 Result<Database::Outcome> Database::Execute(const std::string& sql) {
@@ -233,13 +282,11 @@ Result<QueryResult> Database::Query(const std::string& text,
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileQueryString(catalog_, text, WithObs(copts)));
   int64_t t1 = NowUs();
-  Result<QueryResult> result =
-      compiled.needs_fixpoint
-          ? ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts))
-          : ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  Result<QueryResult> result = ExecuteGoverned(compiled, eopts);
   int64_t t2 = NowUs();
   Fingerprint fp{compiled.normalized_text, compiled.digest};
-  RecordStatement(fp, "query", result.ok(),
+  RecordStatement(fp, "query",
+                  result.ok() ? Status::Ok() : result.status(),
                   result.ok() ? int64_t{result.value().stats.rows_output} : 0,
                   t2 - t0, t1 - t0, t2 - t1,
                   result.ok() ? &result.value().plan_texts : nullptr);
@@ -307,13 +354,11 @@ Result<QueryResult> Database::QueryXnf(const ast::XnfQuery& query,
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileXnf(catalog_, query, WithObs(copts)));
   int64_t t1 = NowUs();
-  Result<QueryResult> result =
-      compiled.needs_fixpoint
-          ? ExecuteXnfFixpoint(catalog_, *compiled.graph, WithObs(eopts))
-          : ExecuteGraph(catalog_, *compiled.graph, WithObs(eopts));
+  Result<QueryResult> result = ExecuteGoverned(compiled, eopts);
   int64_t t2 = NowUs();
   Fingerprint fp{compiled.normalized_text, compiled.digest};
-  RecordStatement(fp, "query", result.ok(),
+  RecordStatement(fp, "query",
+                  result.ok() ? Status::Ok() : result.status(),
                   result.ok() ? int64_t{result.value().stats.rows_output} : 0,
                   t2 - t0, t1 - t0, t2 - t1,
                   result.ok() ? &result.value().plan_texts : nullptr);
@@ -330,9 +375,8 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
           CompiledQuery compiled,
           CompileSelect(catalog_, *s.select, WithObs(CompileOptions())));
       int64_t t1 = NowUs();
-      XNFDB_ASSIGN_OR_RETURN(
-          outcome->result,
-          ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
+      XNFDB_ASSIGN_OR_RETURN(outcome->result,
+                             ExecuteGoverned(compiled, ExecOptions()));
       outcome->compile_us = t1 - t0;
       outcome->execute_us = NowUs() - t1;
       outcome->kind = Outcome::Kind::kRows;
@@ -345,16 +389,8 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
           CompiledQuery compiled,
           CompileXnf(catalog_, *s.query, WithObs(CompileOptions())));
       int64_t t1 = NowUs();
-      if (compiled.needs_fixpoint) {
-        XNFDB_ASSIGN_OR_RETURN(
-            outcome->result,
-            ExecuteXnfFixpoint(catalog_, *compiled.graph,
-                               WithObs(ExecOptions())));
-      } else {
-        XNFDB_ASSIGN_OR_RETURN(
-            outcome->result,
-            ExecuteGraph(catalog_, *compiled.graph, WithObs(ExecOptions())));
-      }
+      XNFDB_ASSIGN_OR_RETURN(outcome->result,
+                             ExecuteGoverned(compiled, ExecOptions()));
       outcome->compile_us = t1 - t0;
       outcome->execute_us = NowUs() - t1;
       outcome->kind = Outcome::Kind::kRows;

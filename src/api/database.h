@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "api/governor.h"
 #include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -147,16 +148,35 @@ class Database {
   // drive write-back's bounded retry-with-backoff path.
   void InjectTransientFailures(int n) { transient_failures_ = n; }
 
+  // --- resource governance (api/governor.h) -------------------------------
+  // Every Query/QueryXnf/SELECT execution runs under a QueryContext with
+  // limits resolved from ExecOptions (or the governor's env-derived
+  // defaults) and is registered with the governor for the duration —
+  // admission control, SYS$QUERIES visibility, and kill support.
+  Governor& governor() { return governor_; }
+  const Governor& governor() const { return governor_; }
+
+  // Requests cooperative termination of a live query by its SYS$QUERIES id
+  // (shell `.kill`). NotFound when the id is not live.
+  Status Cancel(int64_t query_id) { return governor_.Cancel(query_id); }
+
  private:
   // RunStatement plus statement-stats recording and slow-query logging.
   Status RunTimed(const ast::Statement& stmt, Outcome* outcome);
   Status RunStatement(const ast::Statement& stmt, Outcome* outcome);
   // Accumulates one execution into `statements_` and emits the slow-query
-  // log line when armed and exceeded. `plan_texts` may be null.
-  void RecordStatement(const Fingerprint& fp, const char* kind, bool ok,
-                       int64_t rows, int64_t total_us, int64_t compile_us,
-                       int64_t execute_us,
+  // log line when armed and exceeded — or, regardless of speed, when the
+  // governor terminated the statement (kill/deadline/budget attribution).
+  // `plan_texts` may be null.
+  void RecordStatement(const Fingerprint& fp, const char* kind,
+                       const Status& status, int64_t rows, int64_t total_us,
+                       int64_t compile_us, int64_t execute_us,
                        const std::vector<std::string>* plan_texts);
+  // Runs a compiled query under governance: builds the QueryContext (limits
+  // from `eopts` falling back to governor defaults), admits, executes via
+  // the fixpoint or graph path, and releases.
+  Result<QueryResult> ExecuteGoverned(const CompiledQuery& compiled,
+                                      const ExecOptions& eopts);
   Status RunCreateTable(const ast::CreateTableStatement& stmt);
   Status RunInsert(const ast::InsertStatement& stmt, Outcome* outcome);
   Status RunUpdate(const ast::UpdateStatement& stmt, Outcome* outcome);
@@ -175,6 +195,7 @@ class Database {
   obs::Tracer tracer_{obs::Tracer::FromEnv{}};
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
   obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");
+  Governor governor_{GovernorOptions::FromEnv(), metrics_};
 };
 
 }  // namespace xnfdb

@@ -477,9 +477,22 @@ namespace {
 
 constexpr char kJournalMagic[] = "XNFJOURNAL 1";
 
+// xorshift64: tiny PRNG for backoff jitter. State must be non-zero.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
 // Runs `op`, retrying transient kIoError failures up to `max_retries` extra
 // times with exponential backoff. Other error codes are not retried.
-// Every retry counts under writeback.retries (with the backoff slept under
+// Each sleep is "equal jitter": half the exponential delay guaranteed, the
+// other half drawn uniformly, so many callers retrying off one shared fault
+// spread out instead of synchronizing. Every retry counts under
+// writeback.retries (with the milliseconds actually slept under
 // writeback.backoff_ms); an operation that stays failed after the last
 // retry counts under writeback.failures.
 Status RetryTransient(const WriteBackOptions& options,
@@ -491,14 +504,26 @@ Status RetryTransient(const WriteBackOptions& options,
   static obs::Counter* backoff_total =
       obs::MetricsRegistry::Default().GetCounter("writeback.backoff_ms");
   Status status = op();
+  uint64_t rng = options.jitter_seed != 0
+                     ? options.jitter_seed
+                     : static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                                 .time_since_epoch()
+                                                 .count()) |
+                           1;
   int backoff_ms = options.backoff_initial_ms;
   for (int attempt = 0;
        attempt < options.max_retries && !status.ok() &&
        status.code() == StatusCode::kIoError;
        ++attempt) {
     if (backoff_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_total->Increment(backoff_ms);
+      const int half = backoff_ms / 2;
+      const int sleep_ms =
+          backoff_ms - half +
+          (half > 0 ? static_cast<int>(NextJitter(&rng) %
+                                       static_cast<uint64_t>(half + 1))
+                    : 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff_total->Increment(sleep_ms);
     }
     backoff_ms *= 2;
     retries->Increment();

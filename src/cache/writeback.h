@@ -16,6 +16,7 @@
 #ifndef XNFDB_CACHE_WRITEBACK_H_
 #define XNFDB_CACHE_WRITEBACK_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,12 @@ struct WriteBackOptions {
   Env* env = nullptr;  // file I/O environment; Env::Default() when null
   int max_retries = 3;          // extra attempts after a transient kIoError
   int backoff_initial_ms = 1;   // first retry delay, doubled per retry
+  // Retry sleeps are jittered ("equal jitter": half the exponential delay
+  // plus a uniform draw over the other half) so concurrent write-backs
+  // tripping over the same fault decorrelate instead of retrying in
+  // lock-step. Non-zero: deterministic jitter sequence (tests); 0: seeded
+  // from the clock.
+  uint64_t jitter_seed = 0;
 };
 
 // Updatability analysis result for one component table.

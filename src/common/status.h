@@ -30,6 +30,11 @@ enum class StatusCode {
   kExecutionError,
   kIoError,
   kInternal,
+  // Resource-governor terminations (see exec/query_context.h): the query
+  // was stopped cooperatively, not by a fault in the engine.
+  kCancelled,          // explicit Cancel() / .kill
+  kDeadlineExceeded,   // per-query deadline passed
+  kResourceExhausted,  // row/memory budget or admission capacity exceeded
 };
 
 // Returns a short human-readable name, e.g. "ParseError".
@@ -71,8 +76,24 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // True for the three governor termination codes: the query was stopped
+  // deliberately (kill, deadline, or budget), not by an engine fault.
+  bool IsGovernorTermination() const {
+    return code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -3,6 +3,7 @@
 #ifndef XNFDB_COMMON_STR_UTIL_H_
 #define XNFDB_COMMON_STR_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,16 @@ std::string Trim(const std::string& s);
 
 // SQL LIKE with '%' and '_' wildcards (case-sensitive on data).
 bool LikeMatch(const std::string& text, const std::string& pattern);
+
+// Checked environment-variable integer: reads `name` and returns its value
+// clamped to [min_value, max_value]. Unset, empty, or unparsable (trailing
+// garbage, overflow) values yield `default_value`. The first time a
+// variable is found malformed or out of range, one warning is logged on
+// the "env" channel; later calls stay silent so per-query resolution does
+// not spam the log. Every XNFDB_* tuning knob goes through here — ad-hoc
+// atoi() parses accept garbage and negative values silently.
+int64_t ParseEnvInt(const char* name, int64_t min_value, int64_t max_value,
+                    int64_t default_value);
 
 }  // namespace xnfdb
 

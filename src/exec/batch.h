@@ -14,10 +14,10 @@
 #define XNFDB_EXEC_BATCH_H_
 
 #include <cstdint>
-#include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "common/str_util.h"
 #include "common/value.h"
 
 namespace xnfdb {
@@ -30,11 +30,8 @@ inline constexpr int kDefaultBatchSize = 1024;
 // XNFDB_BATCH_SIZE environment variable, then kDefaultBatchSize.
 inline int ResolveBatchSize(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("XNFDB_BATCH_SIZE")) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return kDefaultBatchSize;
+  return static_cast<int>(
+      ParseEnvInt("XNFDB_BATCH_SIZE", 1, 1 << 20, kDefaultBatchSize));
 }
 
 class TupleBatch {

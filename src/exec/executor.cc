@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/str_util.h"
+
 namespace xnfdb {
 
 namespace {
@@ -93,20 +95,13 @@ Tuple ProjectCols(const Tuple& row, const std::vector<int>& cols) {
 
 int ResolveMorselWorkers(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("XNFDB_MORSEL_WORKERS")) {
-    int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return 1;
+  return static_cast<int>(ParseEnvInt("XNFDB_MORSEL_WORKERS", 1, 256, 1));
 }
 
 Rid ResolveMorselRows(int64_t requested) {
   if (requested > 0) return static_cast<Rid>(requested);
-  if (const char* env = std::getenv("XNFDB_MORSEL_ROWS")) {
-    long long v = std::atoll(env);
-    if (v > 0) return static_cast<Rid>(v);
-  }
-  return 2048;
+  return static_cast<Rid>(
+      ParseEnvInt("XNFDB_MORSEL_ROWS", 1, int64_t{1} << 30, 2048));
 }
 
 // Pulls every row out of `op` (already Open) at the requested granularity
@@ -188,9 +183,11 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   const int morsel_workers =
       options.analyze ? 1 : ResolveMorselWorkers(options.morsel_workers);
   const Rid morsel_rows = ResolveMorselRows(options.morsel_rows);
+  QueryContext* ctx = options.context.get();
   PlanOptions plan_options = options.plan;
   plan_options.analyze = options.analyze;
   plan_options.batch_size = batch_size;
+  plan_options.context = ctx;  // governs spool builds and returned trees
   Planner planner(&catalog, &graph, plan_options, &run_stats);
 
   // Output descriptors.
@@ -241,22 +238,26 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   };
 
   // Tags one projected component row and appends it to the output buffer
-  // (dedup via the component's tid map for XNF object sharing).
+  // (dedup via the component's tid map for XNF object sharing). Rows are
+  // charged against the governor's row budget here — after dedup, so the
+  // budget bounds what the client actually receives.
   auto emit_component = [&](int oi, const qgm::TopOutput& out, TidMap& map,
-                            Tuple&& projected) {
+                            Tuple&& projected) -> Status {
     StreamItem item;
     item.kind = StreamItem::Kind::kRow;
     item.output = oi;
     if (out.xnf_component) {
       auto [tid, inserted] = map.Intern(projected);
-      if (!inserted) return;  // object sharing: emit each row once
+      if (!inserted) return Status::Ok();  // object sharing: emit once
       item.tid = tid;
     } else {
       item.tid = map.next++;
     }
+    if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
     item.values = std::move(projected);
     ++run_stats.rows_output;
     buffers[oi].push_back(std::move(item));
+    return Status::Ok();
   };
 
   // Morsel-parallel evaluation of one component output: `workers` plan
@@ -296,6 +297,13 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
             // driver's current morsel tags every row it just produced.
             Tuple projected =
                 out.cols.empty() ? std::move(row) : ProjectCols(row, out.cols);
+            // Bucketed rows are buffered server-side until reassembly, so
+            // they count against the memory budget (not the row budget:
+            // dedup happens at reassembly).
+            if (ctx != nullptr) {
+              XNFDB_RETURN_IF_ERROR(
+                  ctx->ReserveBytes(ApproxTupleBytes(projected)));
+            }
             buckets[driver->current_morsel()].push_back(std::move(projected));
             return Status::Ok();
           }));
@@ -308,6 +316,10 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
       threads.emplace_back([&, w] { worker_status[w] = worker(w); });
     }
     for (std::thread& t : threads) t.join();
+    // All workers share one QueryContext, so a cancel/deadline/budget trip
+    // surfaces in every worker; the first failure wins and reassembly is
+    // skipped (partially filled buckets are simply dropped — mid-pipeline
+    // unwind never publishes a torn stream).
     for (const Status& s : worker_status) {
       XNFDB_RETURN_IF_ERROR(s);
     }
@@ -315,7 +327,8 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
     TidMap& map = tids[out.name];
     for (std::vector<Tuple>& bucket : buckets) {
       for (Tuple& projected : bucket) {
-        emit_component(oi, out, map, std::move(projected));
+        XNFDB_RETURN_IF_ERROR(
+            emit_component(oi, out, map, std::move(projected)));
       }
     }
     return Status::Ok();
@@ -359,8 +372,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
             [&](Tuple&& row) -> Status {
               Tuple projected =
                   out.cols.empty() ? std::move(row) : ProjectCols(row, out.cols);
-              emit_component(oi, out, map, std::move(projected));
-              return Status::Ok();
+              return emit_component(oi, out, map, std::move(projected));
             }));
         op->Close();
         capture_plan(oi, out, op.get());
@@ -408,6 +420,9 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
               }
               if (!seen.insert(partner_tids).second) {
                 return Status::Ok();  // duplicate connection
+              }
+              if (ctx != nullptr) {
+                XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
               }
               StreamItem item;
               item.kind = StreamItem::Kind::kConnection;

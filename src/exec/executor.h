@@ -12,12 +12,14 @@
 #define XNFDB_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/schema.h"
 #include "common/status.h"
 #include "exec/operators.h"
+#include "exec/query_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/planner.h"
@@ -91,12 +93,26 @@ struct ExecOptions {
   // EXPLAIN ANALYZE: instrument operators with wall-time measurement and
   // fill QueryResult::plan_texts with annotated plan trees.
   bool analyze = false;
+  // Per-query resource limits, consumed by Database (api/governor.h) when
+  // it builds the query's context: -1 = use the governor's env-derived
+  // default, 0 = explicitly unlimited, > 0 = this limit. Ignored by
+  // ExecuteGraph itself (it only honours `context`).
+  int64_t timeout_ms = -1;
+  int64_t max_result_rows = -1;
+  int64_t mem_budget_bytes = -1;
   // Observability sinks; both optional. When set, the executor records
   // plan/execute/deliver spans and phase-latency histograms, and publishes
   // the run's ExecStats into `metrics` under `exec.*`. Database::Query
   // fills these with its own tracer/registry when left null.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Resource-governance context (exec/query_context.h). When set, every
+  // operator, morsel worker, spool build, and output pass checks it
+  // cooperatively and charges produced rows / materialized bytes against
+  // its limits. Shared so Database::Cancel can flip the flag while the
+  // executor owns it. Null = ungoverned (no per-row overhead beyond one
+  // null check).
+  std::shared_ptr<QueryContext> context;
 };
 
 // Executes a graph whose XNF box (if any) has already been rewritten away.

@@ -55,6 +55,7 @@ int64_t ElapsedNs(const std::chrono::steady_clock::time_point& t0) {
 
 Status Operator::Open() {
   ++actuals_.loops;
+  if (ctx_ != nullptr) XNFDB_RETURN_IF_ERROR(ctx_->Check());
   if (!analyze_) return OpenImpl();
   auto t0 = std::chrono::steady_clock::now();
   Status s = OpenImpl();
@@ -63,6 +64,18 @@ Status Operator::Open() {
 }
 
 Result<bool> Operator::Next(Tuple* row) {
+  // Row-at-a-time governance: the cancellation flag is one atomic load, so
+  // it is checked on every call; the deadline needs a clock read, so it is
+  // only re-checked once per kDefaultBatchSize rows (a synthetic batch
+  // boundary for the Volcano path).
+  if (ctx_ != nullptr) {
+    if (ctx_->cancelled()) return Result<bool>(ctx_->CheckCancelled());
+    if (++gov_tick_ >= kDefaultBatchSize) {
+      gov_tick_ = 0;
+      Status s = ctx_->Check();
+      if (!s.ok()) return Result<bool>(std::move(s));
+    }
+  }
   if (!analyze_) {
     Result<bool> r = NextImpl(row);
     if (r.ok() && r.value()) ++actuals_.rows;
@@ -77,6 +90,10 @@ Result<bool> Operator::Next(Tuple* row) {
 
 Result<bool> Operator::NextBatch(TupleBatch* out) {
   out->Clear();
+  if (ctx_ != nullptr) {
+    Status s = ctx_->Check();
+    if (!s.ok()) return Result<bool>(std::move(s));
+  }
   if (!analyze_) {
     Result<bool> r = NextBatchImpl(out);
     if (r.ok() && r.value()) {
@@ -123,6 +140,12 @@ void Operator::EnableAnalyze() {
   for (Operator* c : Children()) c->EnableAnalyze();
 }
 
+void Operator::AttachContext(QueryContext* ctx) {
+  ctx_ = ctx;
+  gov_tick_ = 0;
+  for (Operator* c : Children()) c->AttachContext(ctx);
+}
+
 void Operator::SelfLine(int depth, const std::string& text,
                         std::string* out) const {
   if (!analyze_) {
@@ -138,7 +161,8 @@ void Operator::SelfLine(int depth, const std::string& text,
   ExplainLine(depth, os.str(), out);
 }
 
-Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size) {
+Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size,
+                                         QueryContext* ctx) {
   std::vector<Tuple> rows;
   XNFDB_RETURN_IF_ERROR(op->Open());
   if (batch_size <= 1) {
@@ -146,6 +170,9 @@ Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size) {
     while (true) {
       XNFDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
       if (!more) break;
+      if (ctx != nullptr) {
+        XNFDB_RETURN_IF_ERROR(ctx->ReserveBytes(ApproxTupleBytes(row)));
+      }
       rows.push_back(std::move(row));
       row = Tuple();
     }
@@ -155,6 +182,10 @@ Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size) {
       XNFDB_ASSIGN_OR_RETURN(bool more, op->NextBatch(&batch));
       if (!more) break;
       for (size_t i = 0; i < batch.ActiveCount(); ++i) {
+        if (ctx != nullptr) {
+          XNFDB_RETURN_IF_ERROR(
+              ctx->ReserveBytes(ApproxTupleBytes(batch.Active(i))));
+        }
         rows.push_back(std::move(batch.Active(i)));
       }
     }
@@ -365,7 +396,13 @@ Result<bool> DistinctOp::NextImpl(Tuple* row) {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
-    if (seen_.emplace(*row, true).second) return true;
+    if (seen_.emplace(*row, true).second) {
+      // The dedup table keeps a copy of every distinct row.
+      if (context() != nullptr) {
+        XNFDB_RETURN_IF_ERROR(context()->ReserveBytes(ApproxTupleBytes(*row)));
+      }
+      return true;
+    }
   }
 }
 
@@ -376,6 +413,9 @@ Status SortOp::OpenImpl() {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
     if (!more) break;
+    if (context() != nullptr) {
+      XNFDB_RETURN_IF_ERROR(context()->ReserveBytes(ApproxTupleBytes(in)));
+    }
     rows_.push_back(std::move(in));
     in = Tuple();
   }
@@ -443,6 +483,10 @@ Status HashJoinOp::OpenImpl() {
       key.push_back(std::move(v));
     }
     if (null_key) continue;  // NULL keys never join
+    if (context() != nullptr) {
+      XNFDB_RETURN_IF_ERROR(context()->ReserveBytes(ApproxTupleBytes(row) +
+                                                    ApproxTupleBytes(key)));
+    }
     build_[std::move(key)].push_back(std::move(row));
     row = Tuple();
   }
@@ -553,6 +597,9 @@ Status NLJoinOp::OpenImpl() {
   while (true) {
     XNFDB_ASSIGN_OR_RETURN(bool more, right_->Next(&in));
     if (!more) break;
+    if (context() != nullptr) {
+      XNFDB_RETURN_IF_ERROR(context()->ReserveBytes(ApproxTupleBytes(in)));
+    }
     inner_.push_back(std::move(in));
     in = Tuple();
   }
@@ -601,6 +648,11 @@ Status ExistsFilterOp::OpenImpl() {
   for (GroupCheck& g : groups_) {
     if (naive_ || g.equi_outer.empty() || g.index_built) continue;
     for (size_t i = 0; i < g.rows->size(); ++i) {
+      // This loop pulls from no child operator, so it must check the
+      // governor itself (batch-boundary granularity).
+      if (context() != nullptr && (i % 1024) == 0) {
+        XNFDB_RETURN_IF_ERROR(context()->Check());
+      }
       Tuple key;
       key.reserve(g.equi_inner.size());
       bool null_key = false;
@@ -610,7 +662,13 @@ Status ExistsFilterOp::OpenImpl() {
         if (v.is_null()) null_key = true;
         key.push_back(std::move(v));
       }
-      if (!null_key) g.index[std::move(key)].push_back(i);
+      if (!null_key) {
+        if (context() != nullptr) {
+          XNFDB_RETURN_IF_ERROR(
+              context()->ReserveBytes(ApproxTupleBytes(key)));
+        }
+        g.index[std::move(key)].push_back(i);
+      }
     }
     g.index_built = true;
   }
@@ -777,7 +835,14 @@ Status AggOp::OpenImpl() {
     }
     auto [it, inserted] =
         groups.try_emplace(std::move(key), row, std::vector<AggState>());
-    if (inserted) it->second.second.resize(specs_.size());
+    if (inserted) {
+      it->second.second.resize(specs_.size());
+      // One representative row is retained per group.
+      if (context() != nullptr) {
+        Status s = context()->ReserveBytes(ApproxTupleBytes(row));
+        if (!s.ok()) return s;
+      }
+    }
     std::vector<AggState>& states = it->second.second;
     for (size_t i = 0; i < specs_.size(); ++i) {
       const AggSpec& spec = specs_[i];

@@ -25,6 +25,7 @@
 #include "common/value.h"
 #include "exec/batch.h"
 #include "exec/expr_eval.h"
+#include "exec/query_context.h"
 #include "qgm/qgm.h"
 #include "storage/table.h"
 
@@ -146,6 +147,13 @@ class Operator {
   void EnableAnalyze();
   bool analyze_enabled() const { return analyze_; }
 
+  // Attaches the query's resource-governance context to this operator and
+  // its subtree. The non-virtual wrappers then check it cooperatively: a
+  // full Check() (cancel + deadline) at every Open/NextBatch, a cheap
+  // cancellation check per Next row with a full check every ~1k rows. `ctx`
+  // must outlive execution; null detaches.
+  void AttachContext(QueryContext* ctx);
+
   // Direct children of this operator in the plan tree.
   virtual std::vector<Operator*> Children() { return {}; }
 
@@ -172,9 +180,16 @@ class Operator {
   // analyze mode is on.
   void SelfLine(int depth, const std::string& text, std::string* out) const;
 
+  // Governance context, for *Impl hooks that materialize rows internally
+  // (join build sides, sort buffers) and must charge ReserveBytes / observe
+  // cancellation inside their own loops. Null when the query is ungoverned.
+  QueryContext* context() const { return ctx_; }
+
  private:
   bool analyze_ = false;
   Actuals actuals_;
+  QueryContext* ctx_ = nullptr;
+  int64_t gov_tick_ = 0;  // rows since the last full deadline check (Next)
 };
 
 // Explain helper: indented line.
@@ -183,8 +198,11 @@ void ExplainLine(int depth, const std::string& text, std::string* out);
 using OperatorPtr = std::unique_ptr<Operator>;
 
 // Drains `op` completely (Open/Next*/Close) into a vector. `batch_size`
-// selects the pull granularity; <= 1 keeps the classic row loop.
-Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size = 1);
+// selects the pull granularity; <= 1 keeps the classic row loop. When `ctx`
+// is set, every drained row's bytes are charged against its memory budget
+// (drains materialize: spools, existential group builds).
+Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size = 1,
+                                         QueryContext* ctx = nullptr);
 
 // --- sources ---------------------------------------------------------------
 

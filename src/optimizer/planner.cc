@@ -75,10 +75,12 @@ Result<OperatorPtr> Planner::BoxIterator(int box_id) {
     XNFDB_ASSIGN_OR_RETURN(auto rows, MaterializeBox(box_id));
     OperatorPtr op = std::make_unique<MaterializedOp>(std::move(rows), stats_);
     if (options_.analyze) op->EnableAnalyze();
+    if (options_.context != nullptr) op->AttachContext(options_.context);
     return op;
   }
   XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, CompileBox(box_id));
   if (options_.analyze) op->EnableAnalyze();
+  if (options_.context != nullptr) op->AttachContext(options_.context);
   return op;
 }
 
@@ -88,8 +90,12 @@ Result<std::shared_ptr<const std::vector<Tuple>>> Planner::MaterializeBox(
   auto it = spools_.find(box_id);
   if (it != spools_.end()) return it->second;
   XNFDB_ASSIGN_OR_RETURN(OperatorPtr op, CompileBox(box_id));
-  XNFDB_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                         DrainOperator(op.get(), options_.batch_size));
+  // Spool builds run plan-time: attach governance so a cancel/deadline/
+  // budget cuts the drain short, and charge the spooled rows.
+  if (options_.context != nullptr) op->AttachContext(options_.context);
+  XNFDB_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      DrainOperator(op.get(), options_.batch_size, options_.context));
   if (stats_ != nullptr) ++stats_->spool_builds;
   auto shared = std::make_shared<const std::vector<Tuple>>(std::move(rows));
   spools_[box_id] = shared;
@@ -553,9 +559,10 @@ Result<OperatorPtr> Planner::CompileSelect(const Box& box) {
       Layout group_layout;
       XNFDB_ASSIGN_OR_RETURN(OperatorPtr gop,
                              BuildJoinTree(gquants, internal, &group_layout));
+      if (options_.context != nullptr) gop->AttachContext(options_.context);
       XNFDB_ASSIGN_OR_RETURN(
           std::vector<Tuple> rows,
-          DrainOperator(gop.get(), options_.batch_size));
+          DrainOperator(gop.get(), options_.batch_size, options_.context));
       check.rows =
           std::make_shared<const std::vector<Tuple>>(std::move(rows));
       check.group_layout = group_layout;

@@ -39,6 +39,11 @@ struct PlanOptions {
   // group builds). <= 1 drains row-at-a-time; the executor passes its
   // resolved ExecOptions::batch_size through here.
   int batch_size = 1;
+  // Resource-governance context (exec/query_context.h), not owned; must
+  // outlive the planner and its operators. When set, BoxIterator attaches
+  // it to every returned tree and plan-time materializations (spools,
+  // existential group builds) charge their rows against its memory budget.
+  QueryContext* context = nullptr;
 };
 
 // Compiles boxes of one QueryGraph into operators. The planner owns the

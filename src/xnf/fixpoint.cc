@@ -103,18 +103,31 @@ Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
                                        const ExecOptions& options) {
   XNFDB_ASSIGN_OR_RETURN(const Box* xnf, FindXnf(graph));
   QueryResult result;
-  Planner planner(&catalog, &graph, options.plan, &result.stats);
+  QueryContext* ctx = options.context.get();
+  PlanOptions plan_options = options.plan;
+  plan_options.context = ctx;  // governs candidate materialization drains
+  Planner planner(&catalog, &graph, plan_options, &result.stats);
 
   // 1. Materialize candidates per component table.
   std::map<std::string, Candidates> candidates;
+  size_t total_candidates = 0;
   for (const XnfComponent& c : xnf->components) {
     if (c.is_relationship) continue;
     XNFDB_ASSIGN_OR_RETURN(auto rows, planner.MaterializeBox(c.box_id));
     Candidates& cand = candidates[c.name];
-    for (const Tuple& row : *rows) cand.Intern(row);
+    for (const Tuple& row : *rows) {
+      // The interning table holds a second copy of each candidate row on
+      // top of the spool charged inside MaterializeBox.
+      if (ctx != nullptr) {
+        XNFDB_RETURN_IF_ERROR(ctx->ReserveBytes(ApproxTupleBytes(row)));
+      }
+      cand.Intern(row);
+    }
+    total_candidates += cand.rows.size();
     if (c.is_root || !c.reachable) {
       cand.reachable.assign(cand.rows.size(), true);
     }
+    if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->Check());
   }
 
   // 2. Materialize candidate connections per relationship.
@@ -144,11 +157,24 @@ Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
       }
       if (ok) conns.push_back(std::move(conn));
     }
+    if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->Check());
   }
 
-  // 3. Least fixpoint of the reachability rule.
+  // 3. Least fixpoint of the reachability rule. Each productive iteration
+  // marks at least one new candidate reachable, so the fixpoint must settle
+  // within total_candidates + 1 passes — exceeding that bound means the
+  // monotonicity invariant broke and the loop would spin forever.
+  const size_t max_iterations = total_candidates + 1;
+  size_t iterations = 0;
   bool changed = true;
   while (changed) {
+    if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->Check());
+    if (++iterations > max_iterations) {
+      return Status::Internal(
+          "fixpoint failed to converge after " +
+          std::to_string(iterations - 1) + " iterations over " +
+          std::to_string(total_candidates) + " candidate rows");
+    }
     changed = false;
     for (const XnfComponent& r : xnf->components) {
       if (!r.is_relationship) continue;
@@ -201,6 +227,7 @@ Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
       auto [it, inserted] = map.ids.emplace(projected, map.next);
       if (!inserted) continue;
       ++map.next;
+      if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
       StreamItem item;
       item.kind = StreamItem::Kind::kRow;
       item.output = output_index[c.name];
@@ -245,6 +272,7 @@ Result<QueryResult> ExecuteXnfFixpoint(const Catalog& catalog,
       }
       if (!all_reachable) continue;
       if (!seen.insert(partner_tids).second) continue;
+      if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
       StreamItem item;
       item.kind = StreamItem::Kind::kConnection;
       item.output = out_idx;

@@ -185,5 +185,38 @@ TEST(StrUtilTest, IdentCaseFolding) {
   EXPECT_EQ(ToUpperIdent("xDept"), "XDEPT");
 }
 
+TEST(ParseEnvIntTest, UnsetYieldsDefault) {
+  unsetenv("XNFDB_TEST_KNOB");
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 42);
+}
+
+TEST(ParseEnvIntTest, ValidValueIsParsed) {
+  setenv("XNFDB_TEST_KNOB", "17", 1);
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 17);
+  setenv("XNFDB_TEST_KNOB", "  23  ", 1);  // surrounding whitespace is fine
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 23);
+  unsetenv("XNFDB_TEST_KNOB");
+}
+
+TEST(ParseEnvIntTest, OutOfRangeValuesAreClamped) {
+  setenv("XNFDB_TEST_KNOB", "1000", 1);
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 100);
+  setenv("XNFDB_TEST_KNOB", "-5", 1);
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 1, 100, 42), 1);
+  unsetenv("XNFDB_TEST_KNOB");
+}
+
+TEST(ParseEnvIntTest, MalformedValuesYieldDefault) {
+  for (const char* bad : {"", "abc", "12abc", "1.5", "0x10"}) {
+    setenv("XNFDB_TEST_KNOB", bad, 1);
+    EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 42)
+        << "value: '" << bad << "'";
+  }
+  // Overflow beyond int64 is malformed, not clamped.
+  setenv("XNFDB_TEST_KNOB", "99999999999999999999999", 1);
+  EXPECT_EQ(ParseEnvInt("XNFDB_TEST_KNOB", 0, 100, 42), 42);
+  unsetenv("XNFDB_TEST_KNOB");
+}
+
 }  // namespace
 }  // namespace xnfdb

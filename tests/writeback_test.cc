@@ -225,5 +225,36 @@ TEST_F(WriteBackTest, ExhaustedRetriesCountAsFailure) {
             1);
 }
 
+TEST_F(WriteBackTest, BackoffJitterIsBoundedAndDeterministicWithSeed) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter* backoff = reg.GetCounter("writeback.backoff_ms");
+  int64_t slept[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    cache_ = XNFCache::Evaluate(&db_, "OUT OF x AS EMP TAKE *").value();
+    CachedRow* row = cache_->workspace().component("X").value()->FindByValue(
+        0, Value(int64_t{10}));
+    ASSERT_NE(row, nullptr);
+    ASSERT_TRUE(cache_->Update(row, "SAL", Value(97000.0 + run)).ok());
+
+    db_.InjectTransientFailures(100);
+    WriteBackOptions options;
+    options.backoff_initial_ms = 2;
+    options.max_retries = 3;
+    options.jitter_seed = 0x9e3779b97f4a7c15ull;
+    const int64_t before = backoff->value();
+    Result<std::vector<std::string>> stmts = cache_->WriteBack(options);
+    ASSERT_FALSE(stmts.ok());
+    db_.InjectTransientFailures(0);
+    slept[run] = backoff->value() - before;
+
+    // Equal jitter keeps each sleep within [delay/2, delay]: three retries
+    // at exponential delays 2, 4, 8 ms sleep between 7 and 14 ms total.
+    EXPECT_GE(slept[run], 1 + 2 + 4);
+    EXPECT_LE(slept[run], 2 + 4 + 8);
+  }
+  // Identical seed, identical jitter sequence.
+  EXPECT_EQ(slept[0], slept[1]);
+}
+
 }  // namespace
 }  // namespace xnfdb
