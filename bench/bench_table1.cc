@@ -155,6 +155,27 @@ int Run() {
   int measured_replicated = sql_total - xnf_sum;
   std::printf("%-14s %10d %10d %12d %10d %10d\n", "Summary", sql_total, 23,
               measured_replicated, xnf_sum, 7);
+
+  // --- execute phase ---------------------------------------------------------
+  // Run both derivations end-to-end so the snapshot carries phase.execute.us
+  // — the histogram scripts/bench_compare.py gates on (and the profiler-
+  // overhead CI gate re-runs under XNFDB_QUERY_PROFILES=0/1).
+  const int reps = SmokeMode() ? 5 : 40;
+  int64_t exec_rows = 0;
+  double exec_secs = TimeSecs([&] {
+    for (int r = 0; r < reps; ++r) {
+      for (const PaperRow& row : kRows) {
+        Result<Database::Outcome> out = db.Execute(row.sql_query);
+        CheckOk(out.status(), std::string("execute SQL ") + row.component);
+        exec_rows += out.value().result.stats.rows_output;
+      }
+      Result<QueryResult> co = db.Query(kDepsArcQuery);
+      CheckOk(co.status(), "execute XNF");
+      exec_rows += co.value().stats.rows_output;
+    }
+  });
+  std::printf("\nExecuted both derivations x%d: %lld rows in %.3fs\n", reps,
+              static_cast<long long>(exec_rows), exec_secs);
   std::printf(
       "\nMeasured replicated ops = SQL total - XNF total = %d (paper: 16)\n",
       measured_replicated);
@@ -170,7 +191,10 @@ int Run() {
                      ",\"xnf_ops\":" + std::to_string(xnf_sum) +
                      ",\"replicated_ops\":" +
                      std::to_string(measured_replicated) +
-                     ",\"matches_paper\":" + (ok ? "true" : "false") + "}");
+                     ",\"matches_paper\":" + (ok ? "true" : "false") +
+                     ",\"execute_reps\":" + std::to_string(reps) +
+                     ",\"execute_rows\":" + std::to_string(exec_rows) +
+                     ",\"execute_secs\":" + std::to_string(exec_secs) + "}");
   return 0;
 }
 

@@ -12,6 +12,12 @@
 //   .queries            live queries (SYS$QUERIES): id, state, progress
 //   .kill <id>          request cooperative termination of query <id>
 //   .slowlog <us>       arm the slow-query log (.slowlog off disarms)
+//   .sample             take one metrics sample into SYS$METRICS_HISTORY
+//   .history [substr]   the sampler's time-series ring (optionally filtered)
+//   .profiles           always-on per-query profiles (SYS$QUERY_PROFILES)
+//   .top [n]            top statement shapes by total wall time, with the
+//                       profiler's per-class self-time split
+//   .watchdog <ms>|off  arm the stuck-query watchdog at <ms> stall time
 //   .dot <query>        emit the query graph in Graphviz DOT
 //   .save <file>        persist the database
 //   .open <file>        load a database (into an empty shell)
@@ -176,10 +182,11 @@ int main() {
         std::printf(
             ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics "
             "[table] | .queries | .kill <id> | .slowlog <us>|off | "
-            ".save <f> | .open <f> | .quit\n"
+            ".sample | .history [substr] | .profiles | .top [n] | "
+            ".watchdog <ms>|off | .save <f> | .open <f> | .quit\n"
             "Statements end with ';'. System views: sys$metrics, "
             "sys$histograms, sys$statements, sys$cache, sys$tables, "
-            "sys$queries.\n");
+            "sys$queries, sys$metrics_history, sys$query_profiles.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -239,6 +246,76 @@ int main() {
           } else {
             std::printf("%s\n", s.ToString().c_str());
           }
+        }
+      } else if (cmd == ".sample") {
+        db.sampler().SampleNow();
+        std::printf("sampled (%lld samples, ring %zu/%zu)\n",
+                    static_cast<long long>(db.sampler().samples_taken()),
+                    db.sampler().ring_size(),
+                    db.sampler().options().ring_capacity);
+      } else if (cmd == ".history") {
+        size_t n = 0;
+        for (const xnfdb::obs::MetricsSampler::Row& r :
+             db.sampler().History()) {
+          if (!arg.empty() && r.name.find(arg) == std::string::npos) continue;
+          std::printf("%lld %-9s %-40s value=%lld delta=%lld rate=%lld/s\n",
+                      static_cast<long long>(r.sample_ts_us), r.kind.c_str(),
+                      r.name.c_str(), static_cast<long long>(r.value),
+                      static_cast<long long>(r.delta),
+                      static_cast<long long>(r.rate_per_s));
+          ++n;
+        }
+        std::printf("(%zu series point%s; .sample adds a sample, "
+                    "XNFDB_METRICS_SAMPLE_MS starts the background "
+                    "sampler)\n", n, n == 1 ? "" : "s");
+      } else if (cmd == ".profiles") {
+        auto result = db.Query("SELECT * FROM SYS$QUERY_PROFILES");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+        }
+      } else if (cmd == ".top") {
+        long long n = arg.empty() ? 10 : std::atoll(arg.c_str());
+        std::vector<xnfdb::obs::StatementSnapshot> stmts =
+            db.statement_stats().Snapshot();
+        std::sort(stmts.begin(), stmts.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.total_us > b.total_us;
+                  });
+        std::printf("%-18s %8s %10s %10s  %s\n", "DIGEST", "CALLS",
+                    "TOTAL_US", "AVG_US", "SELF scan/join/filter/other + TEXT");
+        for (const xnfdb::obs::StatementSnapshot& s : stmts) {
+          if (n-- <= 0) break;
+          xnfdb::obs::QueryProfileStore::ClassTotals cls =
+              db.query_profiles().ClassSelfTimes(s.digest);
+          std::printf("%-18s %8lld %10lld %10lld  %lld/%lld/%lld/%lld %s\n",
+                      s.digest_hex.c_str(), static_cast<long long>(s.calls),
+                      static_cast<long long>(s.total_us),
+                      static_cast<long long>(s.avg_us()),
+                      static_cast<long long>(cls.scan_us),
+                      static_cast<long long>(cls.join_us),
+                      static_cast<long long>(cls.filter_us),
+                      static_cast<long long>(cls.other_us), s.text.c_str());
+        }
+      } else if (cmd == ".watchdog") {
+        xnfdb::WatchdogOptions wopts = db.watchdog().options();
+        if (arg == "off" || arg.empty()) {
+          db.watchdog().Stop();
+          wopts.stall_ms = 0;
+          db.watchdog().SetOptions(wopts);
+          std::printf("watchdog off\n");
+        } else {
+          wopts.stall_ms = std::atoll(arg.c_str());
+          if (wopts.poll_ms > wopts.stall_ms && wopts.stall_ms > 0) {
+            wopts.poll_ms = std::max<int64_t>(1, wopts.stall_ms / 2);
+          }
+          db.watchdog().SetOptions(wopts);
+          db.watchdog().Start();
+          std::printf("watchdog armed: stall=%lldms poll=%lldms cancel=%s\n",
+                      static_cast<long long>(wopts.stall_ms),
+                      static_cast<long long>(wopts.poll_ms),
+                      wopts.auto_cancel ? "on" : "off");
         }
       } else if (cmd == ".slowlog") {
         if (arg == "off" || arg.empty()) {

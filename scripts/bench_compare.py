@@ -2,6 +2,7 @@
 """Compare two BENCH_*.json snapshots (scripts/bench.sh output).
 
 Usage: bench_compare.py OLD.json NEW.json [--threshold 0.20] [--report-only]
+                        [--max-overhead FRAC] [--summary-title TITLE]
 
 Prints a diff of every metric counter and every phase.*.us histogram
 (sum and count), then applies the regression gate: the run fails (exit 1)
@@ -9,10 +10,20 @@ when NEW's phase.execute.us sum exceeds OLD's by more than --threshold
 (default 20%). Pass --report-only to print the diff without gating —
 e.g. when the two snapshots were taken at different workload scales
 (full vs --smoke) and absolute times are not comparable.
+
+--max-overhead is the profiler-overhead gate: OLD is the same workload run
+with profiling off (XNFDB_QUERY_PROFILES=0) and NEW with it on, and the
+execute phase may grow by at most FRAC (e.g. 0.05 = 5%). It replaces the
+--threshold gate when given.
+
+When $GITHUB_STEP_SUMMARY is set, a markdown per-phase delta table (plus
+the gate verdict) is appended to it so the comparison lands in the CI job
+summary.
 """
 
 import argparse
 import json
+import os
 import sys
 
 GATE_HISTOGRAM = "phase.execute.us"
@@ -50,6 +61,14 @@ def main():
                          "(default 0.20 = 20%%)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the diff but never fail")
+    ap.add_argument("--max-overhead", type=float, default=None,
+                    help="profiler-overhead gate: allowed fractional growth "
+                         "of the execute phase between an unprofiled (OLD) "
+                         "and profiled (NEW) run of the same workload; "
+                         "replaces the --threshold gate")
+    ap.add_argument("--summary-title", default=None,
+                    help="heading for the $GITHUB_STEP_SUMMARY section "
+                         "(default derived from the gate mode)")
     args = ap.parse_args()
 
     old_snap, new_snap = load(args.old), load(args.new)
@@ -74,23 +93,54 @@ def main():
     old_exec = old_h.get(GATE_HISTOGRAM, {})
     new_exec = new_h.get(GATE_HISTOGRAM, {})
     osum, nsum = old_exec.get("sum", 0), new_exec.get("sum", 0)
+
+    overhead_mode = args.max_overhead is not None
+    allowance = args.max_overhead if overhead_mode else args.threshold
+    gate_word = "profiler overhead" if overhead_mode else "regression"
+
     if args.report_only:
-        print("\nreport-only: no regression gate applied")
-        return 0
-    if osum <= 0 or old_exec.get("count", 0) <= 0:
-        print(f"\nno {GATE_HISTOGRAM} baseline in {args.old}; gate skipped")
-        return 0
-    limit = osum * (1.0 + args.threshold)
-    if nsum > limit:
-        print(f"\nFAIL: {GATE_HISTOGRAM} sum regressed {osum} -> {nsum} "
-              f"({fmt_delta(osum, nsum)}), over the "
-              f"{args.threshold * 100:.0f}% allowance ({limit:.0f})",
+        verdict, code = "report-only: no gate applied", 0
+    elif osum <= 0 or old_exec.get("count", 0) <= 0:
+        verdict, code = (f"no {GATE_HISTOGRAM} baseline in {args.old}; "
+                         f"gate skipped"), 0
+    elif nsum > osum * (1.0 + allowance):
+        verdict = (f"FAIL: {GATE_HISTOGRAM} sum {osum} -> {nsum} "
+                   f"({fmt_delta(osum, nsum)}), over the "
+                   f"{allowance * 100:.0f}% {gate_word} allowance")
+        code = 1
+    else:
+        verdict = (f"OK: {GATE_HISTOGRAM} sum {osum} -> {nsum} "
+                   f"({fmt_delta(osum, nsum)}) within the "
+                   f"{allowance * 100:.0f}% {gate_word} allowance")
+        code = 0
+    print(f"\n{verdict}", file=sys.stderr if code else sys.stdout)
+
+    write_step_summary(args, old_h, new_h, verdict, gate_word)
+    return code
+
+
+def write_step_summary(args, old_h, new_h, verdict, gate_word):
+    """Appends a markdown per-phase delta table to the CI job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    title = args.summary_title or f"bench_compare ({gate_word} gate)"
+    lines = [f"### {title}", "",
+             f"`{args.old}` → `{args.new}`", "",
+             "| phase | old sum (us) | new sum (us) | delta | old n | new n |",
+             "|---|---:|---:|---:|---:|---:|"]
+    for name in sorted(set(old_h) | set(new_h)):
+        o, n = old_h.get(name, {}), new_h.get(name, {})
+        osum, nsum = o.get("sum", 0), n.get("sum", 0)
+        lines.append(f"| `{name}` | {osum} | {nsum} | {fmt_delta(osum, nsum)}"
+                     f" | {o.get('count', 0)} | {n.get('count', 0)} |")
+    lines += ["", f"**{verdict}**", ""]
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"bench_compare: cannot append step summary: {e}",
               file=sys.stderr)
-        return 1
-    print(f"\nOK: {GATE_HISTOGRAM} sum {osum} -> {nsum} "
-          f"({fmt_delta(osum, nsum)}) within the "
-          f"{args.threshold * 100:.0f}% allowance")
-    return 0
 
 
 if __name__ == "__main__":

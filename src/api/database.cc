@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/str_util.h"
 #include "exec/expr_eval.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
@@ -117,14 +118,29 @@ const char* StatementKindTag(const ast::Statement& stmt) {
 }  // namespace
 
 Database::Database(Env* env) : env_(env) {
+  capture_profiles_ = ParseEnvInt("XNFDB_QUERY_PROFILES", 0, 1, 1) != 0;
   // The catalog is empty at this point, so name collisions are impossible.
-  Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_);
+  Status registered =
+      RegisterSystemViews(&catalog_, metrics_, &statements_, &profiles_);
   (void)registered;
-  // SYS$QUERIES is registered here rather than in RegisterSystemViews
-  // because it exposes api-layer state (the governor), which storage cannot
-  // depend on.
+  // SYS$QUERIES, SYS$METRICS_HISTORY and the watchdog are registered /
+  // created here rather than in RegisterSystemViews because they expose
+  // api-layer state (governor, sampler), which storage cannot depend on.
   Status queries = catalog_.RegisterVirtualTable(MakeQueriesProvider(&governor_));
   (void)queries;
+  obs::MetricsSampler::Options sopts;
+  sopts.interval_ms = ParseEnvInt("XNFDB_METRICS_SAMPLE_MS", 0,
+                                  int64_t{1} << 40, 0);
+  sopts.ring_capacity = static_cast<size_t>(
+      ParseEnvInt("XNFDB_METRICS_RING", 1, 1 << 20, 120));
+  sampler_ = std::make_unique<obs::MetricsSampler>(metrics_, sopts);
+  Status history =
+      catalog_.RegisterVirtualTable(MakeMetricsHistoryProvider(sampler_.get()));
+  (void)history;
+  if (sopts.interval_ms > 0) sampler_->Start();
+  watchdog_ = std::make_unique<Watchdog>(&governor_, metrics_,
+                                         WatchdogOptions::FromEnv());
+  watchdog_->Start();  // no-op unless XNFDB_WATCHDOG_STALL_MS > 0
   // Pre-register every exec.* counter at zero so SYS$METRICS exposes the
   // full execution-counter surface (including batch/morsel visibility)
   // before the first query runs.
@@ -155,6 +171,8 @@ ExecOptions Database::WithObs(const ExecOptions& eopts) {
   // While the slow-query log is armed, run in analyze mode so a slow
   // statement's plan (with actuals) is already captured — no re-execution.
   if (slow_query_threshold_us_ >= 0) eo.analyze = true;
+  // XNFDB_QUERY_PROFILES=0 turns the always-on profiler off entirely.
+  if (!capture_profiles_) eo.collect_profile = false;
   return eo;
 }
 
@@ -234,11 +252,23 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
   }
   XNFDB_ASSIGN_OR_RETURN(int64_t qid,
                          governor_.Admit(compiled.normalized_text, eo.context));
+  const int64_t exec_t0 = NowUs();
   Result<QueryResult> result =
       compiled.needs_fixpoint
           ? ExecuteXnfFixpoint(catalog_, *compiled.graph, eo)
           : ExecuteGraph(catalog_, *compiled.graph, eo);
   governor_.Release(qid, result.ok() ? Status::Ok() : result.status());
+  // Always-on profile capture: one store write per successful execution
+  // (the fixpoint path has no operator tree, so only the summary fields are
+  // meaningful there).
+  if (result.ok() && eo.collect_profile) {
+    obs::QueryProfile& profile = result.value().profile;
+    profile.wall_us = NowUs() - exec_t0;
+    profile.queue_wait_us = eo.context->queue_wait_us();
+    profile.peak_bytes = eo.context->bytes_reserved();
+    profile.rows_out = result.value().stats.rows_output;
+    profiles_.Record(compiled.digest, compiled.normalized_text, profile);
+  }
   return result;
 }
 

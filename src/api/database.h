@@ -15,10 +15,13 @@
 #include <string>
 
 #include "api/governor.h"
+#include "api/watchdog.h"
 #include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/sampler.h"
 #include "obs/statement_stats.h"
 #include "obs/trace.h"
 #include "parser/ast.h"
@@ -114,6 +117,27 @@ class Database {
   const obs::StatementStore& statement_stats() const { return statements_; }
   obs::StatementStore& statement_stats() { return statements_; }
 
+  // Always-on per-query profiles (the store behind SYS$QUERY_PROFILES):
+  // every successful query execution captures its per-operator-class
+  // actuals, morsel-worker breakdown, memory high-water and queue wait
+  // under its statement fingerprint. XNFDB_QUERY_PROFILES=0 disables
+  // capture.
+  const obs::QueryProfileStore& query_profiles() const { return profiles_; }
+  obs::QueryProfileStore& query_profiles() { return profiles_; }
+
+  // The metrics time-series sampler behind SYS$METRICS_HISTORY. Its
+  // background thread starts when XNFDB_METRICS_SAMPLE_MS > 0 (ring size
+  // XNFDB_METRICS_RING, default 120); SampleNow() works either way (shell
+  // `.sample`).
+  obs::MetricsSampler& sampler() { return *sampler_; }
+  const obs::MetricsSampler& sampler() const { return *sampler_; }
+
+  // The stuck-query watchdog. Its background thread starts when
+  // XNFDB_WATCHDOG_STALL_MS > 0 (poll cadence XNFDB_WATCHDOG_POLL_MS;
+  // XNFDB_WATCHDOG_CANCEL=1 turns reports into cooperative kills).
+  Watchdog& watchdog() { return *watchdog_; }
+  const Watchdog& watchdog() const { return *watchdog_; }
+
   // Slow-query log: any statement whose total wall time exceeds the
   // threshold emits one JSON line on the "slowlog" channel of
   // Logger::Default(), carrying the normalized text, phase timings, and
@@ -192,10 +216,16 @@ class Database {
   int transient_failures_ = 0;
   int64_t slow_query_threshold_us_ = -1;
   obs::StatementStore statements_{512};
+  obs::QueryProfileStore profiles_{256};
+  bool capture_profiles_ = true;  // XNFDB_QUERY_PROFILES != 0
   obs::Tracer tracer_{obs::Tracer::FromEnv{}};
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
   obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");
   Governor governor_{GovernorOptions::FromEnv(), metrics_};
+  // Declared after governor_/metrics_: both background threads observe them
+  // and must be destroyed (joined) first.
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+  std::unique_ptr<Watchdog> watchdog_;
 };
 
 }  // namespace xnfdb

@@ -105,7 +105,9 @@ Result<int64_t> Governor::Admit(const std::string& text,
   ++running_;
   running_gauge_->Set(running_);
   admitted_->Increment();
-  queue_wait_us_->Observe(QueryContext::NowUs() - t0);
+  const int64_t wait_us = QueryContext::NowUs() - t0;
+  queue_wait_us_->Observe(wait_us);
+  ctx->set_queue_wait_us(wait_us);  // profile capture reads it at query end
   return id;
 }
 
@@ -168,6 +170,8 @@ std::vector<Governor::QueryInfo> Governor::Snapshot() const {
       info.elapsed_us = entry.ctx->elapsed_us();
       info.rows_out = entry.ctx->rows_produced();
       info.bytes_reserved = entry.ctx->bytes_reserved();
+      info.progress_ticks = entry.ctx->progress_ticks();
+      info.queue_wait_us = entry.ctx->queue_wait_us();
     }
     out.push_back(std::move(info));
   }
@@ -196,7 +200,9 @@ class QueriesProvider : public VirtualTableProvider {
                                            {"TEXT", DataType::kString},
                                            {"ELAPSED_US", DataType::kInt},
                                            {"ROWS_OUT", DataType::kInt},
-                                           {"BYTES_RESERVED",
+                                           {"BYTES_RESERVED", DataType::kInt},
+                                           {"PROGRESS_TICKS", DataType::kInt},
+                                           {"QUEUE_WAIT_US",
                                             DataType::kInt}})),
         governor_(governor) {}
 
@@ -208,7 +214,8 @@ class QueriesProvider : public VirtualTableProvider {
     for (const Governor::QueryInfo& q : governor_->Snapshot()) {
       rows.push_back(Tuple{Value(q.id), Value(q.state), Value(q.text),
                            Value(q.elapsed_us), Value(q.rows_out),
-                           Value(q.bytes_reserved)});
+                           Value(q.bytes_reserved), Value(q.progress_ticks),
+                           Value(q.queue_wait_us)});
     }
     return rows;
   }

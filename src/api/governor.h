@@ -97,6 +97,10 @@ class Governor {
     int64_t elapsed_us = 0;
     int64_t rows_out = 0;
     int64_t bytes_reserved = 0;
+    // Live progress: operator-wrapper heartbeat count (stall detection) and
+    // the admission wait this query paid before running.
+    int64_t progress_ticks = 0;
+    int64_t queue_wait_us = 0;
   };
   std::vector<QueryInfo> Snapshot() const;
 
@@ -131,10 +135,10 @@ class Governor {
   obs::Histogram* queue_wait_us_;
 };
 
-// SYS$QUERIES(ID, STATE, TEXT, ELAPSED_US, ROWS_OUT, BYTES_RESERVED): one
-// row per live query. A query scanning SYS$QUERIES sees itself as
-// 'running'. `governor` must outlive the catalog the provider is
-// registered with.
+// SYS$QUERIES(ID, STATE, TEXT, ELAPSED_US, ROWS_OUT, BYTES_RESERVED,
+// PROGRESS_TICKS, QUEUE_WAIT_US): one row per live query. A query scanning
+// SYS$QUERIES sees itself as 'running'. `governor` must outlive the catalog
+// the provider is registered with.
 std::unique_ptr<VirtualTableProvider> MakeQueriesProvider(
     const Governor* governor);
 

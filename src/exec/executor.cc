@@ -1,9 +1,11 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -133,6 +135,25 @@ Status PullRows(Operator* op, int batch_size, StatCounter* batches_emitted,
   return Status::Ok();
 }
 
+// Adds one finished operator tree's actuals into `agg`, keyed by operator
+// class (Kind). Inclusive time is the node's own measurement; self time
+// subtracts the children's inclusive time, clamped at zero.
+void AccumulateTree(Operator* op, std::map<std::string, obs::OpProfile>* agg) {
+  const Operator::Actuals& a = op->actuals();
+  int64_t child_ns = 0;
+  for (Operator* c : op->Children()) {
+    child_ns += c->actuals().ns;
+    AccumulateTree(c, agg);
+  }
+  obs::OpProfile& p = (*agg)[op->Kind()];
+  p.op = op->Kind();
+  p.loops += a.loops;
+  p.rows += a.rows;
+  p.batches += a.batches;
+  p.incl_us += a.ns / 1000;
+  p.self_us += std::max<int64_t>(0, a.ns - child_ns) / 1000;
+}
+
 // Runs `task(i)` for i in [0, n) on up to `workers` threads. Tasks must be
 // independent. Returns the first failure, if any.
 Status RunParallel(int n, int workers,
@@ -228,6 +249,19 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   std::vector<std::vector<StreamItem>> buffers(n_outputs);
   std::vector<std::string> plan_texts(n_outputs);
 
+  // Always-on profile accumulation. Output passes and morsel workers all
+  // merge their finished trees here, so the aggregation is mutex-guarded;
+  // it runs once per finished plan, never per row.
+  const bool collect_profile = options.collect_profile;
+  std::mutex profile_mu;
+  std::map<std::string, obs::OpProfile> profile_ops;
+  std::map<int64_t, obs::WorkerProfile> profile_workers;  // by worker id
+  auto record_tree = [&](Operator* op) {
+    if (!collect_profile) return;
+    std::lock_guard<std::mutex> lock(profile_mu);
+    AccumulateTree(op, &profile_ops);
+  };
+
   // Renders the annotated plan tree of one finished output (analyze mode).
   auto capture_plan = [&](int oi, const qgm::TopOutput& out, Operator* op) {
     if (!options.analyze) return;
@@ -276,6 +310,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
       XNFDB_ASSIGN_OR_RETURN(OperatorPtr extra, planner.BoxIterator(out.box_id));
       ScanOp* d = extra->MorselDriver();
       if (d == nullptr || d->table() != first_driver->table()) break;
+      if (collect_profile) extra->EnableProfile();
       plans.push_back(std::move(extra));
       drivers.push_back(d);
     }
@@ -289,6 +324,15 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
     auto worker = [&](size_t w) -> Status {
       Operator* plan = plans[w].get();
       ScanOp* driver = drivers[w];
+      // Stable worker id = index in the worker pool; the trace span and the
+      // profile's WorkerProfile row carry the same id.
+      obs::Span worker_span;
+      if (options.tracer != nullptr) {
+        worker_span = options.tracer->StartSpan(
+            "morsel-worker #" + std::to_string(w) + " " + out.name);
+      }
+      auto w0 = std::chrono::steady_clock::now();
+      int64_t worker_rows = 0;
       XNFDB_RETURN_IF_ERROR(plan->Open());
       XNFDB_RETURN_IF_ERROR(PullRows(
           plan, batch_size, &run_stats.batches_emitted,
@@ -304,10 +348,23 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
               XNFDB_RETURN_IF_ERROR(
                   ctx->ReserveBytes(ApproxTupleBytes(projected)));
             }
+            ++worker_rows;
             buckets[driver->current_morsel()].push_back(std::move(projected));
             return Status::Ok();
           }));
       plan->Close();
+      if (collect_profile) {
+        int64_t wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - w0)
+                              .count();
+        std::lock_guard<std::mutex> lock(profile_mu);
+        AccumulateTree(plan, &profile_ops);
+        obs::WorkerProfile& wp = profile_workers[static_cast<int64_t>(w)];
+        wp.worker = static_cast<int64_t>(w);
+        wp.rows += worker_rows;
+        wp.morsels += driver->claimed_morsels();
+        wp.wall_us += wall_us;
+      }
       return Status::Ok();
     };
     std::vector<std::thread> threads;
@@ -351,6 +408,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           PhaseTimer timer(options.metrics, "phase.plan.us");
           XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
         }
+        if (collect_profile) op->EnableProfile();
         plan_span.End();
         obs::Span exec_span;
         if (options.tracer != nullptr) {
@@ -376,6 +434,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
             }));
         op->Close();
         capture_plan(oi, out, op.get());
+        record_tree(op.get());
         return Status::Ok();
       }));
 
@@ -393,6 +452,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           PhaseTimer timer(options.metrics, "phase.plan.us");
           XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
         }
+        if (collect_profile) op->EnableProfile();
         PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         std::set<std::vector<TupleId>> seen;
@@ -434,6 +494,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
             }));
         op->Close();
         capture_plan(oi, out, op.get());
+        record_tree(op.get());
         return Status::Ok();
       }));
 
@@ -441,6 +502,15 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   result.stats = run_stats;
   if (options.analyze) result.plan_texts = std::move(plan_texts);
   if (options.metrics != nullptr) run_stats.PublishTo(options.metrics);
+  if (collect_profile) {
+    result.profile.ops.reserve(profile_ops.size());
+    for (auto& [kind, p] : profile_ops) result.profile.ops.push_back(std::move(p));
+    result.profile.workers.reserve(profile_workers.size());
+    for (auto& [id, wp] : profile_workers) {
+      result.profile.workers.push_back(wp);
+    }
+    result.profile.rows_out = run_stats.rows_output;
+  }
 
   // Merge the per-output buffers into one stream, in output order (a
   // deterministic interleaving; the paper allows any, Sect. 5.1).

@@ -21,6 +21,7 @@
 #include "exec/operators.h"
 #include "exec/query_context.h"
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "optimizer/planner.h"
 #include "qgm/qgm.h"
@@ -60,6 +61,12 @@ struct QueryResult {
   // EXPLAIN ANALYZE (ExecOptions::analyze): one rendered plan tree per
   // output, annotated with actual rows/loops/wall time per operator.
   std::vector<std::string> plan_texts;
+  // Always-on execution profile (ExecOptions::collect_profile): per-operator
+  // -class totals aggregated over every output's finished plan tree, plus
+  // the morsel-worker breakdown. The executor fills ops/workers/rows_out;
+  // the Database adds wall time, queue wait and the memory high-water before
+  // capturing it into its QueryProfileStore.
+  obs::QueryProfile profile;
 
   // Index of the output named `name`, or -1.
   int FindOutput(const std::string& name) const;
@@ -93,6 +100,11 @@ struct ExecOptions {
   // EXPLAIN ANALYZE: instrument operators with wall-time measurement and
   // fill QueryResult::plan_texts with annotated plan trees.
   bool analyze = false;
+  // Always-on profiling: aggregate every finished plan tree's actuals into
+  // QueryResult::profile, with batch-granularity wall time (Open/NextBatch
+  // only — the per-row Next path is never timed). Cheap enough to leave on;
+  // XNFDB_QUERY_PROFILES=0 turns it off via Database.
+  bool collect_profile = true;
   // Per-query resource limits, consumed by Database (api/governor.h) when
   // it builds the query's context: -1 = use the governor's env-derived
   // default, 0 = explicitly unlimited, > 0 = this limit. Ignored by

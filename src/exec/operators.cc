@@ -55,8 +55,11 @@ int64_t ElapsedNs(const std::chrono::steady_clock::time_point& t0) {
 
 Status Operator::Open() {
   ++actuals_.loops;
-  if (ctx_ != nullptr) XNFDB_RETURN_IF_ERROR(ctx_->Check());
-  if (!analyze_) return OpenImpl();
+  if (ctx_ != nullptr) {
+    ctx_->Tick();
+    XNFDB_RETURN_IF_ERROR(ctx_->Check());
+  }
+  if (!analyze_ && !profile_) return OpenImpl();
   auto t0 = std::chrono::steady_clock::now();
   Status s = OpenImpl();
   actuals_.ns += ElapsedNs(t0);
@@ -72,6 +75,7 @@ Result<bool> Operator::Next(Tuple* row) {
     if (ctx_->cancelled()) return Result<bool>(ctx_->CheckCancelled());
     if (++gov_tick_ >= kDefaultBatchSize) {
       gov_tick_ = 0;
+      ctx_->Tick();  // watchdog heartbeat at the synthetic batch boundary
       Status s = ctx_->Check();
       if (!s.ok()) return Result<bool>(std::move(s));
     }
@@ -91,10 +95,11 @@ Result<bool> Operator::Next(Tuple* row) {
 Result<bool> Operator::NextBatch(TupleBatch* out) {
   out->Clear();
   if (ctx_ != nullptr) {
+    ctx_->Tick();
     Status s = ctx_->Check();
     if (!s.ok()) return Result<bool>(std::move(s));
   }
-  if (!analyze_) {
+  if (!analyze_ && !profile_) {
     Result<bool> r = NextBatchImpl(out);
     if (r.ok() && r.value()) {
       actuals_.rows += static_cast<int64_t>(out->ActiveCount());
@@ -126,7 +131,7 @@ Result<bool> Operator::NextBatchImpl(TupleBatch* out) {
 }
 
 void Operator::Close() {
-  if (!analyze_) {
+  if (!analyze_ && !profile_) {
     CloseImpl();
     return;
   }
@@ -138,6 +143,11 @@ void Operator::Close() {
 void Operator::EnableAnalyze() {
   analyze_ = true;
   for (Operator* c : Children()) c->EnableAnalyze();
+}
+
+void Operator::EnableProfile() {
+  profile_ = true;
+  for (Operator* c : Children()) c->EnableProfile();
 }
 
 void Operator::AttachContext(QueryContext* ctx) {
@@ -203,6 +213,7 @@ bool ScanOp::ClaimMorsel() {
   rid_ = start;
   morsel_end_ = std::min(morsels_->bound, start + morsels_->rows_per_morsel);
   current_morsel_ = static_cast<int64_t>(m);
+  ++claimed_;
   if (stats_ != nullptr) ++stats_->morsels_claimed;
   return true;
 }

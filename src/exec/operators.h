@@ -147,6 +147,17 @@ class Operator {
   void EnableAnalyze();
   bool analyze_enabled() const { return analyze_; }
 
+  // Always-on profiling (SYS$QUERY_PROFILES): like analyze mode but cheap —
+  // wall time is measured only around Open/NextBatch (two clock reads per
+  // ~1k-row batch), never around per-row Next calls. Rows pulled
+  // row-at-a-time contribute counters but no time.
+  void EnableProfile();
+  bool profile_enabled() const { return profile_; }
+
+  // Stable operator-class name ("scan", "hash_join", ...) used to aggregate
+  // profiles and to roll self-time up into SYS$STATEMENTS broad classes.
+  virtual const char* Kind() const { return "op"; }
+
   // Attaches the query's resource-governance context to this operator and
   // its subtree. The non-virtual wrappers then check it cooperatively: a
   // full Check() (cancel + deadline) at every Open/NextBatch, a cheap
@@ -187,6 +198,7 @@ class Operator {
 
  private:
   bool analyze_ = false;
+  bool profile_ = false;
   Actuals actuals_;
   QueryContext* ctx_ = nullptr;
   int64_t gov_tick_ = 0;  // rows since the last full deadline check (Next)
@@ -226,13 +238,19 @@ class ScanOp : public Operator {
   // the first claim). Under morsel execution a batch never spans morsels.
   int64_t current_morsel() const { return current_morsel_; }
 
+  // Morsels this instance claimed since Open (per-worker share of the scan;
+  // the morsel-worker profile rows report it).
+  int64_t claimed_morsels() const { return claimed_; }
+
   ScanOp* MorselDriver() override { return this; }
+  const char* Kind() const override { return "scan"; }
 
  protected:
   Status OpenImpl() override {
     rid_ = 0;
     morsel_end_ = 0;
     current_morsel_ = -1;
+    claimed_ = 0;
     return Status::Ok();
   }
   Result<bool> NextImpl(Tuple* row) override;
@@ -251,6 +269,7 @@ class ScanOp : public Operator {
   std::shared_ptr<ScanMorsels> morsels_;
   Rid morsel_end_ = 0;  // exclusive end of the claimed range (morsel mode)
   int64_t current_morsel_ = -1;
+  int64_t claimed_ = 0;
 };
 
 // Scan over a virtual system table (storage/sysview.h): the provider's
@@ -260,6 +279,8 @@ class VirtualScanOp : public Operator {
  public:
   VirtualScanOp(const VirtualTableProvider* provider, ExecStats* stats)
       : provider_(provider), stats_(stats) {}
+
+  const char* Kind() const override { return "virtual_scan"; }
 
  protected:
   Status OpenImpl() override;
@@ -280,6 +301,8 @@ class IndexScanOp : public Operator {
  public:
   IndexScanOp(const Table* table, int column, Value key, ExecStats* stats)
       : table_(table), column_(column), key_(std::move(key)), stats_(stats) {}
+
+  const char* Kind() const override { return "index_scan"; }
 
  protected:
   Status OpenImpl() override;
@@ -311,6 +334,8 @@ class RangeScanOp : public Operator {
         hi_inclusive_(hi_inclusive),
         stats_(stats) {}
 
+  const char* Kind() const override { return "range_scan"; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* row) override;
@@ -336,6 +361,8 @@ class MaterializedOp : public Operator {
   MaterializedOp(std::shared_ptr<const std::vector<Tuple>> rows,
                  ExecStats* stats)
       : rows_(std::move(rows)), stats_(stats) {}
+
+  const char* Kind() const override { return "spool_read"; }
 
  protected:
   Status OpenImpl() override {
@@ -367,6 +394,7 @@ class FilterOp : public Operator {
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
   ScanOp* MorselDriver() override { return child_->MorselDriver(); }
+  const char* Kind() const override { return "filter"; }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
@@ -396,6 +424,7 @@ class ProjectOp : public Operator {
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
   ScanOp* MorselDriver() override { return child_->MorselDriver(); }
+  const char* Kind() const override { return "project"; }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
@@ -418,6 +447,7 @@ class DistinctOp : public Operator {
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  const char* Kind() const override { return "distinct"; }
 
  protected:
   Status OpenImpl() override {
@@ -440,6 +470,7 @@ class SortOp : public Operator {
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  const char* Kind() const override { return "sort"; }
 
  protected:
   Status OpenImpl() override;
@@ -462,6 +493,7 @@ class LimitOp : public Operator {
       : child_(std::move(child)), limit_(limit), offset_(offset) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  const char* Kind() const override { return "limit"; }
 
  protected:
   Status OpenImpl() override {
@@ -509,6 +541,7 @@ class HashJoinOp : public Operator {
   // Probe (left) side only: the build side must be fully built by every
   // worker, so it is never morselized.
   ScanOp* MorselDriver() override { return left_->MorselDriver(); }
+  const char* Kind() const override { return "hash_join"; }
 
  protected:
   Status OpenImpl() override;
@@ -565,6 +598,7 @@ class NLJoinOp : public Operator {
   std::vector<Operator*> Children() override {
     return {left_.get(), right_.get()};
   }
+  const char* Kind() const override { return "nl_join"; }
 
  protected:
   Status OpenImpl() override;
@@ -633,6 +667,7 @@ class ExistsFilterOp : public Operator {
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
   ScanOp* MorselDriver() override { return child_->MorselDriver(); }
+  const char* Kind() const override { return "exists"; }
 
  protected:
   // Builds every group's hash index up front: shared-plan morsel workers
@@ -669,6 +704,7 @@ class UnionOp : public Operator {
     for (const OperatorPtr& c : children_) out.push_back(c.get());
     return out;
   }
+  const char* Kind() const override { return "union"; }
 
  protected:
   Status OpenImpl() override;
@@ -705,6 +741,7 @@ class AggOp : public Operator {
         layout_(std::move(layout)) {}
 
   std::vector<Operator*> Children() override { return {child_.get()}; }
+  const char* Kind() const override { return "agg"; }
 
  protected:
   Status OpenImpl() override;

@@ -82,6 +82,24 @@ class QueryContext {
   }
   int64_t elapsed_us() const { return NowUs() - start_us_; }
 
+  // Liveness heartbeat for the stuck-query watchdog: operator wrappers
+  // tick at batch boundaries (every Open/NextBatch, and every ~1k rows on
+  // the Volcano path). A running query whose tick count stops advancing is
+  // stalled — wedged inside one call, not merely slow between rows.
+  void Tick() { progress_ticks_.fetch_add(1, std::memory_order_relaxed); }
+  int64_t progress_ticks() const {
+    return progress_ticks_.load(std::memory_order_relaxed);
+  }
+
+  // Admission wait, recorded by Governor::Admit before execution starts
+  // (profile capture reads it at query end).
+  void set_queue_wait_us(int64_t us) {
+    queue_wait_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t queue_wait_us() const {
+    return queue_wait_us_.load(std::memory_order_relaxed);
+  }
+
   // Cancellation only: one relaxed-ish atomic load, cheap enough for
   // per-row call sites.
   Status CheckCancelled() const {
@@ -145,6 +163,8 @@ class QueryContext {
   QueryLimits limits_;
   std::atomic<int64_t> rows_produced_{0};
   std::atomic<int64_t> bytes_reserved_{0};
+  std::atomic<int64_t> progress_ticks_{0};
+  std::atomic<int64_t> queue_wait_us_{0};
   int64_t start_us_ = 0;
 };
 

@@ -1,0 +1,136 @@
+// Continuous metrics sampling: a background thread snapshots the
+// MetricsRegistry at a fixed interval into a bounded ring of samples, so
+// point-in-time counters become a queryable time-series (`SYS$METRICS_HISTORY`).
+//
+// Each sample stores, per series, the value at sample time, the delta since
+// the previous sample, and (for counters) the rate per second derived from
+// the actual inter-sample wall time — the substrate ROADMAP item 3 needs to
+// pick hot CO view shapes by frequency-and-cost *over time*, not by a
+// single snapshot.
+//
+// Series emitted per sample:
+//   * every counter:   kind "counter", delta and rate_per_s vs. the
+//     previous sample;
+//   * every gauge:     kind "gauge", delta (rate is 0 — a last-value gauge
+//     has no meaningful per-second rate);
+//   * every histogram: three derived series — `<name>.count` (counter
+//     semantics) plus `<name>.p50` / `<name>.p99` quantile gauges.
+//
+// The ring is lock-protected (sampling is seconds-scale, far off any hot
+// path) and evicts the oldest sample at capacity. `SampleNow()` takes one
+// sample synchronously, which is what the shell's `.sample` and the CI
+// smoke use to make history content deterministic; `Start()`/`Stop()` run
+// the background thread (`XNFDB_METRICS_SAMPLE_MS` — resolved by the
+// Database, which owns the sampler's lifecycle).
+
+#ifndef XNFDB_OBS_SAMPLER_H_
+#define XNFDB_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xnfdb {
+namespace obs {
+
+class MetricsSampler {
+ public:
+  struct Options {
+    // Background sampling interval; <= 0 means "manual only" (the thread,
+    // if started, idles until Stop, and samples come from SampleNow).
+    int64_t interval_ms = 1000;
+    // Samples retained; the oldest is evicted at capacity.
+    size_t ring_capacity = 120;
+  };
+
+  // One series observation within one sample.
+  struct Row {
+    int64_t sample_ts_us = 0;  // microseconds since sampler construction
+    std::string name;
+    std::string kind;  // "counter" | "gauge"
+    int64_t value = 0;
+    int64_t delta = 0;       // vs. the previous sample (value on first sight)
+    int64_t rate_per_s = 0;  // counters only; 0 for gauges / first sample
+  };
+
+  MetricsSampler(MetricsRegistry* registry, Options options);
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+  ~MetricsSampler();
+
+  // Starts/stops the background sampling thread. Both are idempotent and
+  // safe to call from any thread; Stop joins the thread before returning.
+  void Start();
+  void Stop();
+  bool running() const;
+
+  // Takes one sample synchronously (deterministic histories for tests, the
+  // shell `.sample` command, and the CI smoke).
+  void SampleNow();
+
+  // Every retained sample's rows, oldest sample first.
+  std::vector<Row> History() const;
+
+  int64_t samples_taken() const;
+  int64_t evictions() const;
+  size_t ring_size() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Sample {
+    int64_t ts_us = 0;
+    std::vector<Row> rows;
+  };
+
+  // Takes one sample; caller holds mu_.
+  void TakeSampleLocked();
+  void AppendSeries(Sample* sample, const std::string& name,
+                    const char* kind, int64_t value, bool rated,
+                    int64_t dt_us);
+  void Loop();
+
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  MetricsRegistry* registry_;
+  Options options_;
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  // Serializes Start/Stop so concurrent lifecycle calls cannot double-join
+  // the thread; mu_ protects the sampling state itself.
+  std::mutex lifecycle_mu_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::deque<Sample> ring_;
+  std::map<std::string, int64_t> prev_;  // last value per series, for deltas
+  int64_t prev_ts_us_ = -1;
+  int64_t samples_ = 0;
+  int64_t evictions_ = 0;
+
+  // Self-metrics, registered in the sampled registry (a sample therefore
+  // reports the sampler's own activity one sample late — incrementing
+  // before snapshotting would make deltas self-referential).
+  Counter* samples_counter_;
+  Counter* evictions_counter_;
+};
+
+}  // namespace obs
+}  // namespace xnfdb
+
+#endif  // XNFDB_OBS_SAMPLER_H_

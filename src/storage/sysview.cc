@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_profile.h"
+#include "obs/sampler.h"
 #include "obs/statement_stats.h"
 #include "storage/catalog.h"
 
@@ -102,10 +104,14 @@ class HistogramsProvider : public VirtualTableProvider {
   const obs::StatementStore* statements_;
 };
 
-// SYS$STATEMENTS: one row per distinct statement shape.
+// SYS$STATEMENTS: one row per distinct statement shape. The trailing
+// *_SELF_US columns roll the always-on profile store's per-operator-class
+// self times up per shape (zero when no profile store is attached or the
+// shape has no capture yet).
 class StatementsProvider : public VirtualTableProvider {
  public:
-  explicit StatementsProvider(const obs::StatementStore* statements)
+  StatementsProvider(const obs::StatementStore* statements,
+                     const obs::QueryProfileStore* profiles)
       : name_("SYS$STATEMENTS"),
         schema_(MakeSchema({{"DIGEST", DataType::kString},
                             {"KIND", DataType::kString},
@@ -119,8 +125,13 @@ class StatementsProvider : public VirtualTableProvider {
                             {"MAX_US", DataType::kInt},
                             {"AVG_US", DataType::kInt},
                             {"P50_US", DataType::kInt},
-                            {"P99_US", DataType::kInt}})),
-        statements_(statements) {}
+                            {"P99_US", DataType::kInt},
+                            {"SCAN_SELF_US", DataType::kInt},
+                            {"JOIN_SELF_US", DataType::kInt},
+                            {"FILTER_SELF_US", DataType::kInt},
+                            {"OTHER_SELF_US", DataType::kInt}})),
+        statements_(statements),
+        profiles_(profiles) {}
 
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
@@ -128,12 +139,16 @@ class StatementsProvider : public VirtualTableProvider {
   Result<std::vector<Tuple>> Generate() const override {
     std::vector<Tuple> rows;
     for (const obs::StatementSnapshot& s : statements_->Snapshot()) {
+      obs::QueryProfileStore::ClassTotals cls;
+      if (profiles_ != nullptr) cls = profiles_->ClassSelfTimes(s.digest);
       rows.push_back({Value(s.digest_hex), Value(s.kind), Value(s.text),
                       Value("stmt." + s.digest_hex + ".us"), Value(s.calls),
                       Value(s.errors), Value(s.rows), Value(s.total_us),
                       Value(s.min_us), Value(s.max_us), Value(s.avg_us()),
                       Value(s.latency.Quantile(0.5)),
-                      Value(s.latency.Quantile(0.99))});
+                      Value(s.latency.Quantile(0.99)), Value(cls.scan_us),
+                      Value(cls.join_us), Value(cls.filter_us),
+                      Value(cls.other_us)});
     }
     return rows;
   }
@@ -144,6 +159,96 @@ class StatementsProvider : public VirtualTableProvider {
   std::string name_;
   Schema schema_;
   const obs::StatementStore* statements_;
+  const obs::QueryProfileStore* profiles_;
+};
+
+// SYS$METRICS_HISTORY: the sampler's flattened time-series ring,
+// oldest-first.
+class MetricsHistoryProvider : public VirtualTableProvider {
+ public:
+  explicit MetricsHistoryProvider(const obs::MetricsSampler* sampler)
+      : name_("SYS$METRICS_HISTORY"),
+        schema_(MakeSchema({{"SAMPLE_TS", DataType::kInt},
+                            {"NAME", DataType::kString},
+                            {"KIND", DataType::kString},
+                            {"VALUE", DataType::kInt},
+                            {"DELTA", DataType::kInt},
+                            {"RATE_PER_S", DataType::kInt}})),
+        sampler_(sampler) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::MetricsSampler::Row& r : sampler_->History()) {
+      rows.push_back({Value(r.sample_ts_us), Value(r.name), Value(r.kind),
+                      Value(r.value), Value(r.delta), Value(r.rate_per_s)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 1024.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::MetricsSampler* sampler_;
+};
+
+// SYS$QUERY_PROFILES: per-operator-class rows plus morsel-worker rows of
+// each captured statement shape's most recent execution.
+class QueryProfilesProvider : public VirtualTableProvider {
+ public:
+  explicit QueryProfilesProvider(const obs::QueryProfileStore* profiles)
+      : name_("SYS$QUERY_PROFILES"),
+        schema_(MakeSchema({{"DIGEST", DataType::kString},
+                            {"CAPTURES", DataType::kInt},
+                            {"WALL_US", DataType::kInt},
+                            {"QUEUE_WAIT_US", DataType::kInt},
+                            {"PEAK_BYTES", DataType::kInt},
+                            {"ROWS_OUT", DataType::kInt},
+                            {"OP", DataType::kString},
+                            {"WORKER", DataType::kInt},
+                            {"OP_LOOPS", DataType::kInt},
+                            {"OP_ROWS", DataType::kInt},
+                            {"OP_BATCHES", DataType::kInt},
+                            {"OP_SELF_US", DataType::kInt},
+                            {"OP_INCL_US", DataType::kInt}})),
+        profiles_(profiles) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::QueryProfileSnapshot& s : profiles_->Snapshot()) {
+      for (const obs::OpProfile& op : s.last.ops) {
+        rows.push_back({Value(s.digest_hex), Value(s.captures),
+                        Value(s.last.wall_us), Value(s.last.queue_wait_us),
+                        Value(s.last.peak_bytes), Value(s.last.rows_out),
+                        Value(op.op), Value::Null(), Value(op.loops),
+                        Value(op.rows), Value(op.batches), Value(op.self_us),
+                        Value(op.incl_us)});
+      }
+      for (const obs::WorkerProfile& w : s.last.workers) {
+        rows.push_back({Value(s.digest_hex), Value(s.captures),
+                        Value(s.last.wall_us), Value(s.last.queue_wait_us),
+                        Value(s.last.peak_bytes), Value(s.last.rows_out),
+                        Value("morsel_worker"), Value(w.worker),
+                        Value(w.morsels), Value(w.rows), Value(int64_t{0}),
+                        Value(w.wall_us), Value(w.wall_us)});
+      }
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 128.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::QueryProfileStore* profiles_;
 };
 
 // SYS$CACHE: the CO cache / write-back slice of the metric namespace.
@@ -227,18 +332,33 @@ class TablesProvider : public VirtualTableProvider {
 }  // namespace
 
 Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
-                           const obs::StatementStore* statements) {
+                           const obs::StatementStore* statements,
+                           const obs::QueryProfileStore* profiles) {
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
       std::make_unique<MetricsProvider>(metrics)));
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
       std::make_unique<HistogramsProvider>(metrics, statements)));
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
-      std::make_unique<StatementsProvider>(statements)));
+      std::make_unique<StatementsProvider>(statements, profiles)));
   XNFDB_RETURN_IF_ERROR(
       catalog->RegisterVirtualTable(std::make_unique<CacheProvider>(metrics)));
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
       std::make_unique<TablesProvider>(catalog)));
+  if (profiles != nullptr) {
+    XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+        std::make_unique<QueryProfilesProvider>(profiles)));
+  }
   return Status::Ok();
+}
+
+std::unique_ptr<VirtualTableProvider> MakeMetricsHistoryProvider(
+    const obs::MetricsSampler* sampler) {
+  return std::make_unique<MetricsHistoryProvider>(sampler);
+}
+
+std::unique_ptr<VirtualTableProvider> MakeQueryProfilesProvider(
+    const obs::QueryProfileStore* profiles) {
+  return std::make_unique<QueryProfilesProvider>(profiles);
 }
 
 }  // namespace xnfdb

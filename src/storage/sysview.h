@@ -25,10 +25,22 @@
 //   SYS$CACHE(NAME, VALUE)                    cache.* / writeback.* metrics
 //   SYS$TABLES(NAME, KIND, ROW_COUNT, COLUMN_COUNT)
 //       catalog contents: base tables, views, and virtual tables
+//   SYS$METRICS_HISTORY(SAMPLE_TS, NAME, KIND, VALUE, DELTA, RATE_PER_S)
+//       the metrics sampler's time-series ring (api-registered)
+//   SYS$QUERY_PROFILES(DIGEST, CAPTURES, WALL_US, QUEUE_WAIT_US, PEAK_BYTES,
+//                  ROWS_OUT, OP, WORKER, OP_LOOPS, OP_ROWS, OP_BATCHES,
+//                  OP_SELF_US, OP_INCL_US)
+//       the always-on profile store: per-operator-class rows (WORKER NULL)
+//       plus one 'morsel_worker' row per worker of the last capture
+//
+// When a QueryProfileStore is supplied, SYS$STATEMENTS additionally carries
+// SCAN_SELF_US / JOIN_SELF_US / FILTER_SELF_US / OTHER_SELF_US — cumulative
+// per-operator-class self time of each statement shape.
 
 #ifndef XNFDB_STORAGE_SYSVIEW_H_
 #define XNFDB_STORAGE_SYSVIEW_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +54,8 @@ class Catalog;
 
 namespace obs {
 class MetricsRegistry;
+class MetricsSampler;
+class QueryProfileStore;
 class StatementStore;
 }  // namespace obs
 
@@ -62,10 +76,24 @@ class VirtualTableProvider {
   virtual double EstimatedRows() const { return 64.0; }
 };
 
-// Registers the built-in sys$ views against `catalog`. `metrics` and
-// `statements` must outlive the catalog; `catalog` itself backs SYS$TABLES.
+// Registers the built-in sys$ views against `catalog`. `metrics`,
+// `statements` and `profiles` must outlive the catalog; `catalog` itself
+// backs SYS$TABLES. `profiles` may be null (SYS$STATEMENTS then reports
+// zero self times).
 Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
-                           const obs::StatementStore* statements);
+                           const obs::StatementStore* statements,
+                           const obs::QueryProfileStore* profiles = nullptr);
+
+// SYS$METRICS_HISTORY over one sampler's ring. Registered by the Database
+// (the sampler is api-owned state, like the governor's SYS$QUERIES).
+std::unique_ptr<VirtualTableProvider> MakeMetricsHistoryProvider(
+    const obs::MetricsSampler* sampler);
+
+// SYS$QUERY_PROFILES over the always-on profile store: for every captured
+// statement shape, one row per operator class of the most recent capture
+// (WORKER is NULL) and one row per morsel worker (OP = 'morsel_worker').
+std::unique_ptr<VirtualTableProvider> MakeQueryProfilesProvider(
+    const obs::QueryProfileStore* profiles);
 
 }  // namespace xnfdb
 
