@@ -180,13 +180,15 @@ int main() {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         std::printf(
-            ".tables | .explain <q> | .analyze <q> | .dot <q> | .metrics "
-            "[table] | .queries | .kill <id> | .slowlog <us>|off | "
-            ".sample | .history [substr] | .profiles | .top [n] | "
+            ".tables | .explain [rewrite] <q> | .analyze <q> | .dot <q> | "
+            ".metrics [table] | .queries | .kill <id> | .slowlog <us>|off | "
+            ".sample | .history [substr] | .profiles | .rewrites | "
+            ".feedback | .plans | .top [n] | "
             ".watchdog <ms>|off | .save <f> | .open <f> | .quit\n"
             "Statements end with ';'. System views: sys$metrics, "
             "sys$histograms, sys$statements, sys$cache, sys$tables, "
-            "sys$queries, sys$metrics_history, sys$query_profiles.\n");
+            "sys$queries, sys$metrics_history, sys$query_profiles, "
+            "sys$rewrites, sys$plan_feedback, sys$plan_history.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -200,7 +202,13 @@ int main() {
           std::printf("sys   %s\n", v->name().c_str());
         }
       } else if (cmd == ".explain") {
-        auto plan = db.Explain(arg);
+        // `.explain rewrite <q>` prepends the ordered rewrite-rule log.
+        Database::ExplainOptions xopts;
+        if (arg.rfind("rewrite ", 0) == 0) {
+          xopts.rewrite = true;
+          arg = xnfdb::Trim(arg.substr(8));
+        }
+        auto plan = db.Explain(arg, xopts);
         std::printf("%s\n", plan.ok() ? plan.value().c_str()
                                       : plan.status().ToString().c_str());
       } else if (cmd == ".analyze") {
@@ -270,6 +278,27 @@ int main() {
                     "sampler)\n", n, n == 1 ? "" : "s");
       } else if (cmd == ".profiles") {
         auto result = db.Query("SELECT * FROM SYS$QUERY_PROFILES");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+        }
+      } else if (cmd == ".rewrites") {
+        auto result = db.Query("SELECT * FROM SYS$REWRITES");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+        }
+      } else if (cmd == ".feedback") {
+        auto result = db.Query("SELECT * FROM SYS$PLAN_FEEDBACK");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+        }
+      } else if (cmd == ".plans") {
+        auto result = db.Query("SELECT * FROM SYS$PLAN_HISTORY");
         if (!result.ok()) {
           std::printf("error: %s\n", result.status().ToString().c_str());
         } else {

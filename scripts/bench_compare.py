@@ -115,11 +115,11 @@ def main():
         code = 0
     print(f"\n{verdict}", file=sys.stderr if code else sys.stdout)
 
-    write_step_summary(args, old_h, new_h, verdict, gate_word)
+    write_step_summary(args, old_c, new_c, old_h, new_h, verdict, gate_word)
     return code
 
 
-def write_step_summary(args, old_h, new_h, verdict, gate_word):
+def write_step_summary(args, old_c, new_c, old_h, new_h, verdict, gate_word):
     """Appends a markdown per-phase delta table to the CI job summary."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -134,6 +134,18 @@ def write_step_summary(args, old_h, new_h, verdict, gate_word):
         osum, nsum = o.get("sum", 0), n.get("sum", 0)
         lines.append(f"| `{name}` | {osum} | {nsum} | {fmt_delta(osum, nsum)}"
                      f" | {o.get('count', 0)} | {n.get('count', 0)} |")
+    # Rewrite-rule activity: how often each rule fired / rejected matches
+    # during the workload, so rule-behaviour drift shows up in the same CI
+    # summary as the timing drift.
+    rule_names = sorted(n for n in set(old_c) | set(new_c)
+                        if n.startswith("rewrite.rule.") or
+                        n == "rewrite.passes")
+    if rule_names:
+        lines += ["", "| rewrite counter | old | new | delta |",
+                  "|---|---:|---:|---:|"]
+        for name in rule_names:
+            o, n = old_c.get(name, 0), new_c.get(name, 0)
+            lines.append(f"| `{name}` | {o} | {n} | {fmt_delta(o, n)} |")
     lines += ["", f"**{verdict}**", ""]
     try:
         with open(path, "a") as f:

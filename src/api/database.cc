@@ -1,6 +1,7 @@
 #include "api/database.h"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <vector>
 
@@ -119,9 +120,10 @@ const char* StatementKindTag(const ast::Statement& stmt) {
 
 Database::Database(Env* env) : env_(env) {
   capture_profiles_ = ParseEnvInt("XNFDB_QUERY_PROFILES", 0, 1, 1) != 0;
+  capture_feedback_ = ParseEnvInt("XNFDB_PLAN_FEEDBACK", 0, 1, 1) != 0;
   // The catalog is empty at this point, so name collisions are impossible.
-  Status registered =
-      RegisterSystemViews(&catalog_, metrics_, &statements_, &profiles_);
+  Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_,
+                                          &profiles_, &plan_feedback_);
   (void)registered;
   // SYS$QUERIES, SYS$METRICS_HISTORY and the watchdog are registered /
   // created here rather than in RegisterSystemViews because they expose
@@ -173,6 +175,8 @@ ExecOptions Database::WithObs(const ExecOptions& eopts) {
   if (slow_query_threshold_us_ >= 0) eo.analyze = true;
   // XNFDB_QUERY_PROFILES=0 turns the always-on profiler off entirely.
   if (!capture_profiles_) eo.collect_profile = false;
+  // XNFDB_PLAN_FEEDBACK=0 turns cardinality feedback + plan history off.
+  if (!capture_feedback_) eo.collect_feedback = false;
   return eo;
 }
 
@@ -193,16 +197,32 @@ void Database::RecordStatement(const Fingerprint& fp, const char* kind,
   if (plan_texts != nullptr) {
     for (const std::string& p : *plan_texts) plan += p;
   }
+  std::vector<LogField> fields{
+      LogField::S("digest", obs::DigestHex(fp.digest)),
+      LogField::S("kind", kind), LogField::S("text", fp.text),
+      LogField::S("status", status.ok() ? "OK" : status.ToString()),
+      LogField::N("total_us", total_us),
+      LogField::N("compile_us", compile_us),
+      LogField::N("execute_us", execute_us), LogField::N("rows", rows),
+      LogField::S("plan", plan)};
+  // When cardinality feedback is on, attribute the slowness: name the
+  // operator whose estimate was furthest from its actual row count.
+  if (capture_feedback_) {
+    obs::OpFeedback worst = plan_feedback_.TopMisestimate(fp.digest);
+    if (!worst.op.empty()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s/%s est=%lld actual=%lld q=%.2f",
+                    worst.output.c_str(), worst.op.c_str(),
+                    static_cast<long long>(worst.est_rows + 0.5),
+                    static_cast<long long>(worst.actual_rows),
+                    worst.q_error);
+      fields.push_back(LogField::S("top_misestimate", buf));
+    }
+  }
   Logger::Default().Log(
       LogLevel::kWarn, "slowlog",
       governed ? "statement terminated by governor" : "slow statement",
-      {LogField::S("digest", obs::DigestHex(fp.digest)),
-       LogField::S("kind", kind), LogField::S("text", fp.text),
-       LogField::S("status", status.ok() ? "OK" : status.ToString()),
-       LogField::N("total_us", total_us),
-       LogField::N("compile_us", compile_us),
-       LogField::N("execute_us", execute_us), LogField::N("rows", rows),
-       LogField::S("plan", plan)});
+      std::move(fields));
 }
 
 Status Database::RunTimed(const ast::Statement& stmt, Outcome* outcome) {
@@ -226,6 +246,12 @@ Status Database::RunTimed(const ast::Statement& stmt, Outcome* outcome) {
 Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
                                               const ExecOptions& eopts) {
   ExecOptions eo = WithObs(eopts);
+  // Capture the compile-side rewrite trace before execution: even a
+  // statement that fails at runtime keeps its rule log in SYS$REWRITES.
+  if (capture_feedback_) {
+    plan_feedback_.RecordCompile(compiled.digest, compiled.normalized_text,
+                                 compiled.rewrite_stats.trace);
+  }
   // A caller-supplied context is honoured as-is (its limits are the
   // caller's business); otherwise build one from the per-call knobs,
   // falling back to the governor's env-derived defaults (-1), with 0 as
@@ -268,6 +294,27 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
     profile.peak_bytes = eo.context->bytes_reserved();
     profile.rows_out = result.value().stats.rows_output;
     profiles_.Record(compiled.digest, compiled.normalized_text, profile);
+  }
+  // Plan-quality feedback: join estimates vs actuals and append to the
+  // plan-shape history (the fixpoint path has no operator tree, so there is
+  // nothing to record there).
+  if (result.ok() && eo.collect_feedback && !compiled.needs_fixpoint &&
+      !result.value().plan_shape.empty()) {
+    QueryResult& r = result.value();
+    obs::PlanFeedbackStore::PlanChange change = plan_feedback_.RecordExecution(
+        compiled.digest, compiled.normalized_text, r.plan_hash, r.plan_shape,
+        NowUs() - exec_t0, std::move(r.feedback));
+    r.feedback.clear();
+    if (change.changed) {
+      metrics_->GetCounter("plan.changes")->Increment();
+      Logger::Default().Log(
+          LogLevel::kWarn, "planchange", "statement plan changed",
+          {LogField::S("digest", obs::DigestHex(compiled.digest)),
+           LogField::S("text", compiled.normalized_text),
+           LogField::S("from_plan", obs::DigestHex(change.from)),
+           LogField::S("to_plan", obs::DigestHex(change.to)),
+           LogField::N("executions", change.executions)});
+    }
   }
   return result;
 }
@@ -328,6 +375,11 @@ Result<std::string> Database::Explain(const std::string& text,
                                        const ExecOptions& eopts) {
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileQueryString(catalog_, text, copts));
+  return ExplainCompiled(compiled, eopts);
+}
+
+Result<std::string> Database::ExplainCompiled(const CompiledQuery& compiled,
+                                              const ExecOptions& eopts) {
   std::string out;
   out += "rewrite: " + compiled.rewrite_stats.ToString() + "\n";
   OpCounts counts = CountOps(*compiled.graph);
@@ -354,9 +406,22 @@ Result<std::string> Database::Explain(const std::string& text,
                                       const ExplainOptions& xopts,
                                       const CompileOptions& copts,
                                       const ExecOptions& eopts) {
-  if (!xopts.analyze) return Explain(text, copts, eopts);
+  if (!xopts.analyze && !xopts.rewrite) return Explain(text, copts, eopts);
   XNFDB_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileQueryString(catalog_, text, WithObs(copts)));
+  std::string out;
+  if (xopts.rewrite) {
+    // EXPLAIN REWRITE: the ordered rule log — every Apply in firing order,
+    // with pass, outcome, rejected-match count, box counts, and wall time.
+    out += "rewrite log (" +
+           std::to_string(compiled.rewrite_stats.trace.events.size()) +
+           " events):\n";
+    out += compiled.rewrite_stats.trace.ToString();
+  }
+  if (!xopts.analyze) {
+    XNFDB_ASSIGN_OR_RETURN(std::string body, ExplainCompiled(compiled, eopts));
+    return out + body;
+  }
   if (compiled.needs_fixpoint) {
     return Status::Unsupported(
         "EXPLAIN ANALYZE is not supported for recursive COs (the fixpoint "
@@ -366,12 +431,28 @@ Result<std::string> Database::Explain(const std::string& text,
   eo.analyze = true;
   XNFDB_ASSIGN_OR_RETURN(QueryResult result,
                          ExecuteGraph(catalog_, *compiled.graph, eo));
-  std::string out;
   out += "rewrite: " + compiled.rewrite_stats.ToString() + "\n";
   OpCounts counts = CountOps(*compiled.graph);
   out += "operations: " + counts.ToString() + "\n";
   for (const std::string& plan : result.plan_texts) out += plan;
   out += "stats: " + result.stats.ToString() + "\n";
+  // Cardinality-feedback footer: the operator whose estimate was furthest
+  // from its actual row count (the per-operator lines carry the rest).
+  const obs::OpFeedback* worst = nullptr;
+  for (const obs::OpFeedback& f : result.feedback) {
+    if (f.est_rows < 0) continue;
+    if (worst == nullptr || f.q_error > worst->q_error) worst = &f;
+  }
+  if (worst != nullptr) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "feedback: worst estimate %s/%s est=%lld actual=%lld "
+                  "q-error=%.2f\n",
+                  worst->output.c_str(), worst->op.c_str(),
+                  static_cast<long long>(worst->est_rows + 0.5),
+                  static_cast<long long>(worst->actual_rows), worst->q_error);
+    out += buf;
+  }
   return out;
 }
 

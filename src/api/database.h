@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/plan_feedback.h"
 #include "obs/query_profile.h"
 #include "obs/sampler.h"
 #include "obs/statement_stats.h"
@@ -88,8 +89,12 @@ class Database {
   // EXPLAIN ANALYZE ({analyze: true}): additionally *executes* the query
   // and annotates every operator line with its actual row count, loop count
   // and inclusive wall time.
+  // EXPLAIN REWRITE ({rewrite: true}): prepends the ordered rewrite-rule
+  // log — one line per rule application with pass number, fired/no-match,
+  // rejected-match count, QGM box counts before/after, and wall time.
   struct ExplainOptions {
     bool analyze = false;
+    bool rewrite = false;
   };
   Result<std::string> Explain(const std::string& text,
                               const ExplainOptions& xopts,
@@ -124,6 +129,16 @@ class Database {
   // capture.
   const obs::QueryProfileStore& query_profiles() const { return profiles_; }
   obs::QueryProfileStore& query_profiles() { return profiles_; }
+
+  // Plan-quality feedback (the store behind SYS$REWRITES, SYS$PLAN_FEEDBACK
+  // and SYS$PLAN_HISTORY): every compile captures the statement's ordered
+  // rewrite-rule trace, and every successful execution joins the planner's
+  // cardinality estimates against the operators' actuals (worst q-error
+  // offenders per statement) and appends to the plan-shape history. A plan
+  // flip emits one structured warn line on the "planchange" channel and
+  // bumps the plan.changes counter. XNFDB_PLAN_FEEDBACK=0 disables capture.
+  const obs::PlanFeedbackStore& plan_feedback() const { return plan_feedback_; }
+  obs::PlanFeedbackStore& plan_feedback() { return plan_feedback_; }
 
   // The metrics time-series sampler behind SYS$METRICS_HISTORY. Its
   // background thread starts when XNFDB_METRICS_SAMPLE_MS > 0 (ring size
@@ -196,6 +211,10 @@ class Database {
                        const Status& status, int64_t rows, int64_t total_us,
                        int64_t compile_us, int64_t execute_us,
                        const std::vector<std::string>* plan_texts);
+  // Renders the plain-EXPLAIN body (rewrite summary, operation counts, and
+  // the physical plan of every output) for an already compiled query.
+  Result<std::string> ExplainCompiled(const CompiledQuery& compiled,
+                                      const ExecOptions& eopts);
   // Runs a compiled query under governance: builds the QueryContext (limits
   // from `eopts` falling back to governor defaults), admits, executes via
   // the fixpoint or graph path, and releases.
@@ -218,6 +237,8 @@ class Database {
   obs::StatementStore statements_{512};
   obs::QueryProfileStore profiles_{256};
   bool capture_profiles_ = true;  // XNFDB_QUERY_PROFILES != 0
+  obs::PlanFeedbackStore plan_feedback_{256};
+  bool capture_feedback_ = true;  // XNFDB_PLAN_FEEDBACK != 0
   obs::Tracer tracer_{obs::Tracer::FromEnv{}};
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
   obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");

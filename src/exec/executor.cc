@@ -256,6 +256,44 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   std::mutex profile_mu;
   std::map<std::string, obs::OpProfile> profile_ops;
   std::map<int64_t, obs::WorkerProfile> profile_workers;  // by worker id
+
+  // Cardinality-feedback accumulation, keyed by (output index, pre-order
+  // position) so morsel clones of one plan merge into the same slots. Like
+  // the profile, one tree walk per finished plan — never per row. Caveat:
+  // under morsel execution rows and loops both sum across clones, so a
+  // morsel-split driver scan reports its per-clone (not total) rows per
+  // loop; with the default single worker the numbers are exact.
+  const bool collect_feedback = options.collect_feedback;
+  struct FeedbackSlot {
+    std::string op;
+    double est = -1.0;
+    int64_t rows = 0;
+    int64_t loops = 0;
+  };
+  std::map<std::pair<int, int>, FeedbackSlot> feedback_slots;
+  std::vector<std::string> shapes(n_outputs);
+  std::function<void(int, int*, Operator*)> feedback_walk =
+      [&](int oi, int* idx, Operator* op) {
+        FeedbackSlot& slot = feedback_slots[{oi, (*idx)++}];
+        if (slot.op.empty()) {
+          slot.op = op->Kind();
+          slot.est = op->estimated_rows();
+        }
+        slot.rows += op->actuals().rows;
+        slot.loops += op->actuals().loops;
+        for (Operator* c : op->Children()) feedback_walk(oi, idx, c);
+      };
+  auto record_feedback = [&](int oi, Operator* root) {
+    if (!collect_feedback) return;
+    std::lock_guard<std::mutex> lock(profile_mu);
+    int idx = 0;
+    feedback_walk(oi, &idx, root);
+  };
+  auto capture_shape = [&](int oi, const qgm::TopOutput& out, Operator* op) {
+    if (!collect_feedback) return;
+    shapes[oi] = out.name + "=" + PlanShapeText(op);
+  };
+
   auto record_tree = [&](Operator* op) {
     if (!collect_profile) return;
     std::lock_guard<std::mutex> lock(profile_mu);
@@ -365,6 +403,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
         wp.morsels += driver->claimed_morsels();
         wp.wall_us += wall_us;
       }
+      record_feedback(oi, plan);
       return Status::Ok();
     };
     std::vector<std::thread> threads;
@@ -409,6 +448,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
         }
         if (collect_profile) op->EnableProfile();
+        capture_shape(oi, out, op.get());
         plan_span.End();
         obs::Span exec_span;
         if (options.tracer != nullptr) {
@@ -435,6 +475,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
         op->Close();
         capture_plan(oi, out, op.get());
         record_tree(op.get());
+        record_feedback(oi, op.get());
         return Status::Ok();
       }));
 
@@ -453,6 +494,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
           XNFDB_ASSIGN_OR_RETURN(op, planner.BoxIterator(out.box_id));
         }
         if (collect_profile) op->EnableProfile();
+        capture_shape(oi, out, op.get());
         PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         std::set<std::vector<TupleId>> seen;
@@ -495,6 +537,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
         op->Close();
         capture_plan(oi, out, op.get());
         record_tree(op.get());
+        record_feedback(oi, op.get());
         return Status::Ok();
       }));
 
@@ -510,6 +553,28 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
       result.profile.workers.push_back(wp);
     }
     result.profile.rows_out = run_stats.rows_output;
+  }
+  if (collect_feedback) {
+    for (const std::string& s : shapes) {
+      if (s.empty()) continue;
+      if (!result.plan_shape.empty()) result.plan_shape += ";";
+      result.plan_shape += s;
+    }
+    result.plan_hash = PlanShapeHash(result.plan_shape);
+    result.feedback.reserve(feedback_slots.size());
+    for (const auto& [key, slot] : feedback_slots) {
+      obs::OpFeedback f;
+      f.output = top->outputs[key.first].name;
+      f.op = slot.op;
+      f.est_rows = slot.est;
+      f.actual_rows = slot.rows;
+      f.loops = slot.loops;
+      const double per_loop = static_cast<double>(slot.rows) /
+                              static_cast<double>(std::max<int64_t>(
+                                  slot.loops, 1));
+      f.q_error = slot.est >= 0 ? obs::QError(slot.est, per_loop) : 0.0;
+      result.feedback.push_back(std::move(f));
+    }
   }
 
   // Merge the per-output buffers into one stream, in output order (a

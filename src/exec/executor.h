@@ -21,6 +21,7 @@
 #include "exec/operators.h"
 #include "exec/query_context.h"
 #include "obs/metrics.h"
+#include "obs/plan_feedback.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "optimizer/planner.h"
@@ -67,6 +68,13 @@ struct QueryResult {
   // the Database adds wall time, queue wait and the memory high-water before
   // capturing it into its QueryProfileStore.
   obs::QueryProfile profile;
+  // Plan-quality feedback (ExecOptions::collect_feedback): the canonical
+  // plan-shape text over every output ("NAME=op(op(scan:T));..."), its hash,
+  // and the per-operator estimated-vs-actual comparison. The Database folds
+  // these into its PlanFeedbackStore (SYS$PLAN_FEEDBACK / SYS$PLAN_HISTORY).
+  uint64_t plan_hash = 0;
+  std::string plan_shape;
+  std::vector<obs::OpFeedback> feedback;
 
   // Index of the output named `name`, or -1.
   int FindOutput(const std::string& name) const;
@@ -105,6 +113,10 @@ struct ExecOptions {
   // only — the per-row Next path is never timed). Cheap enough to leave on;
   // XNFDB_QUERY_PROFILES=0 turns it off via Database.
   bool collect_profile = true;
+  // Cardinality feedback + plan-shape hashing: fill QueryResult::plan_hash,
+  // plan_shape and feedback at query end (one tree walk per finished plan,
+  // no per-row work). XNFDB_PLAN_FEEDBACK=0 turns it off via Database.
+  bool collect_feedback = true;
   // Per-query resource limits, consumed by Database (api/governor.h) when
   // it builds the query's context: -1 = use the governor's env-derived
   // default, 0 = explicitly unlimited, > 0 = this limit. Ignored by

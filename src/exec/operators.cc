@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/plan_feedback.h"
 #include "storage/sysview.h"
 
 namespace xnfdb {
@@ -158,17 +159,72 @@ void Operator::AttachContext(QueryContext* ctx) {
 
 void Operator::SelfLine(int depth, const std::string& text,
                         std::string* out) const {
+  std::ostringstream os;
+  os << text;
+  if (est_rows_ >= 0) {
+    os << " (est rows=" << static_cast<int64_t>(est_rows_ + 0.5) << ")";
+  }
   if (!analyze_) {
-    ExplainLine(depth, text, out);
+    ExplainLine(depth, os.str(), out);
     return;
   }
-  std::ostringstream os;
-  os << text << " (actual rows=" << actuals_.rows
-     << " loops=" << actuals_.loops;
+  os << " (actual rows=" << actuals_.rows << " loops=" << actuals_.loops;
   if (actuals_.batches > 0) os << " batches=" << actuals_.batches;
   os << " time=" << std::fixed << std::setprecision(3)
-     << static_cast<double>(actuals_.ns) / 1e6 << "ms)";
+     << static_cast<double>(actuals_.ns) / 1e6 << "ms";
+  if (est_rows_ >= 0) {
+    const double per_loop = static_cast<double>(actuals_.rows) /
+                            static_cast<double>(std::max<int64_t>(
+                                actuals_.loops, 1));
+    os << " q=" << std::fixed << std::setprecision(2)
+       << obs::QError(est_rows_, per_loop);
+  }
+  os << ")";
   ExplainLine(depth, os.str(), out);
+}
+
+// --- plan shape --------------------------------------------------------------
+
+void ScanOp::ShapeToken(std::string* out) const {
+  *out += "scan:" + table_->name();
+}
+
+void VirtualScanOp::ShapeToken(std::string* out) const {
+  *out += "virtual_scan:" + provider_->name();
+}
+
+void IndexScanOp::ShapeToken(std::string* out) const {
+  *out += "index_scan:" + table_->name() + "." +
+          table_->schema().column(column_).name;
+}
+
+void RangeScanOp::ShapeToken(std::string* out) const {
+  *out += "range_scan:" + table_->name() + "." +
+          table_->schema().column(column_).name;
+}
+
+std::string PlanShapeText(Operator* root) {
+  std::string shape;
+  root->ShapeToken(&shape);
+  std::vector<Operator*> children = root->Children();
+  if (!children.empty()) {
+    shape += "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) shape += ",";
+      shape += PlanShapeText(children[i]);
+    }
+    shape += ")";
+  }
+  return shape;
+}
+
+uint64_t PlanShapeHash(const std::string& shape) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (char c : shape) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
 }
 
 Result<std::vector<Tuple>> DrainOperator(Operator* op, int batch_size,

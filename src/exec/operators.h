@@ -158,6 +158,18 @@ class Operator {
   // profiles and to roll self-time up into SYS$STATEMENTS broad classes.
   virtual const char* Kind() const { return "op"; }
 
+  // The planner's estimated output cardinality for this operator (rows per
+  // loop), stamped at plan build time; < 0 when no estimate was provided.
+  // EXPLAIN prints it and the executor joins it against actuals for the
+  // cardinality-feedback store (SYS$PLAN_FEEDBACK).
+  void SetEstimatedRows(double est) { est_rows_ = est; }
+  double estimated_rows() const { return est_rows_; }
+
+  // Appends this operator's plan-shape token: the operator class plus its
+  // access path (table/index), but never literals — so the token is stable
+  // across parameter values and the shape hash detects genuine plan flips.
+  virtual void ShapeToken(std::string* out) const { *out += Kind(); }
+
   // Attaches the query's resource-governance context to this operator and
   // its subtree. The non-virtual wrappers then check it cooperatively: a
   // full Check() (cancel + deadline) at every Open/NextBatch, a cheap
@@ -200,12 +212,22 @@ class Operator {
   bool analyze_ = false;
   bool profile_ = false;
   Actuals actuals_;
+  double est_rows_ = -1.0;  // planner estimate; < 0 = none
   QueryContext* ctx_ = nullptr;
   int64_t gov_tick_ = 0;  // rows since the last full deadline check (Next)
 };
 
 // Explain helper: indented line.
 void ExplainLine(int depth, const std::string& text, std::string* out);
+
+// The canonical plan-shape text of the tree under `root`: pre-order,
+// parenthesized, built from ShapeToken — e.g. "project(filter(scan:EMP))".
+// Contains access paths but no literals, so it is stable across parameter
+// values, batch sizes and worker counts. (Non-const: Children() is.)
+std::string PlanShapeText(Operator* root);
+
+// FNV-1a hash of `shape` — the plan hash SYS$PLAN_HISTORY keys on.
+uint64_t PlanShapeHash(const std::string& shape);
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
@@ -244,6 +266,7 @@ class ScanOp : public Operator {
 
   ScanOp* MorselDriver() override { return this; }
   const char* Kind() const override { return "scan"; }
+  void ShapeToken(std::string* out) const override;
 
  protected:
   Status OpenImpl() override {
@@ -281,6 +304,7 @@ class VirtualScanOp : public Operator {
       : provider_(provider), stats_(stats) {}
 
   const char* Kind() const override { return "virtual_scan"; }
+  void ShapeToken(std::string* out) const override;
 
  protected:
   Status OpenImpl() override;
@@ -303,6 +327,7 @@ class IndexScanOp : public Operator {
       : table_(table), column_(column), key_(std::move(key)), stats_(stats) {}
 
   const char* Kind() const override { return "index_scan"; }
+  void ShapeToken(std::string* out) const override;
 
  protected:
   Status OpenImpl() override;
@@ -335,6 +360,7 @@ class RangeScanOp : public Operator {
         stats_(stats) {}
 
   const char* Kind() const override { return "range_scan"; }
+  void ShapeToken(std::string* out) const override;
 
  protected:
   Status OpenImpl() override;

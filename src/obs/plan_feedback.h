@@ -1,0 +1,194 @@
+// Plan-quality observability: rewrite-rule traces, cardinality feedback and
+// plan-change history.
+//
+// Three concerns share this store because they share a key (the statement
+// fingerprint digest) and a lifecycle (captured as a side effect of normal
+// compile/execute, always on, bounded):
+//
+//  1. Rewrite traces. The QGM rule engine records one RewriteEvent per rule
+//     application attempt — fired or not, how many candidate matches the
+//     rule rejected, wall time, live box count before/after. The trace of
+//     the most recent compile per digest surfaces as `SYS$REWRITES` and as
+//     EXPLAIN REWRITE's ordered rule log.
+//
+//  2. Cardinality feedback. The planner stamps its estimated row count on
+//     every physical operator; at query end the executor joins estimates
+//     against the actuals the operator wrappers already maintain and
+//     computes the per-operator q-error max(est/actual, actual/est). The
+//     worst offenders per digest surface as `SYS$PLAN_FEEDBACK` and
+//     annotate slow-query-log lines.
+//
+//  3. Plan-change detection. Each execution hashes its physical plan shape
+//     (operator kinds + access paths, no literals); per digest the store
+//     keeps a bounded history of distinct plan hashes with first/last seen,
+//     execution counts and mean execute time (`SYS$PLAN_HISTORY`). A flip —
+//     an execution whose plan hash differs from the previous one — is
+//     reported to the caller so it can log one structured warn line.
+//
+// Everything here is plain strings and integers: obs sits below qgm and
+// exec in the library order, so the rewrite engine, planner, executor and
+// sysview providers can all depend on these types.
+//
+// Like the other obs stores, bounded: new digests beyond `capacity` count
+// in dropped() instead of allocating; per-entry vectors are truncated to
+// small fixed maxima.
+
+#ifndef XNFDB_OBS_PLAN_FEEDBACK_H_
+#define XNFDB_OBS_PLAN_FEEDBACK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xnfdb {
+namespace obs {
+
+// One rewrite-rule application attempt (one Apply call, or one monolithic
+// semantic-rewrite phase reported as a pseudo-rule).
+struct RewriteEvent {
+  std::string rule;
+  int pass = 0;          // 1-based rule-engine pass; 0 = pre-engine phase
+  bool fired = false;    // did the rule change the graph
+  int64_t rejected = 0;  // candidate matches inspected and declined
+  int64_t wall_us = 0;
+  int boxes_before = 0;  // live (non-dead) QGM boxes before the attempt
+  int boxes_after = 0;
+};
+
+// The ordered rule log of one compile. Bounded: events beyond `capacity`
+// are counted in `dropped` instead of stored.
+struct RewriteTrace {
+  size_t capacity = 256;
+  std::vector<RewriteEvent> events;
+  int64_t dropped = 0;
+
+  void Add(RewriteEvent event) {
+    if (events.size() >= capacity) {
+      ++dropped;
+      return;
+    }
+    events.push_back(std::move(event));
+  }
+
+  // The EXPLAIN REWRITE rendering: one line per event, in order.
+  std::string ToString() const;
+};
+
+// The q-error of an estimate: max(est/actual, actual/est), both clamped to
+// >= 1 row first so the zero edges stay finite (QError(0, 0) == 1,
+// QError(0, n) == n). Always >= 1; 1 means exact.
+double QError(double est, double actual);
+
+// One operator's estimated-vs-actual comparison within one execution.
+struct OpFeedback {
+  std::string output;  // output stream the operator belongs to
+  std::string op;      // operator class ("scan", "hash_join", ...)
+  double est_rows = -1.0;  // < 0: planner provided no estimate
+  int64_t actual_rows = 0;
+  int64_t loops = 0;
+  double q_error = 0.0;
+};
+
+// One distinct physical plan of a statement shape.
+struct PlanRecord {
+  uint64_t plan_hash = 0;
+  std::string shape;  // "OUT=op(op(scan:T));..." — no literals
+  int64_t first_seen_us = 0;  // unix micros
+  int64_t last_seen_us = 0;
+  int64_t executions = 0;
+  int64_t total_execute_us = 0;
+
+  int64_t mean_execute_us() const {
+    return executions > 0 ? total_execute_us / executions : 0;
+  }
+};
+
+// Point-in-time copy of one store entry.
+struct PlanFeedbackSnapshot {
+  uint64_t digest = 0;
+  std::string digest_hex;
+  std::string text;  // normalized statement text
+  int64_t compiles = 0;
+  int64_t executions = 0;
+  int64_t plan_changes = 0;  // executions whose plan differed from the last
+  RewriteTrace trace;        // most recent compile's rule log
+  std::vector<OpFeedback> worst;  // worst q-error first
+  std::vector<PlanRecord> plans;  // distinct plans, most recent last-seen last
+  uint64_t current_plan = 0;      // plan hash of the most recent execution
+};
+
+class PlanFeedbackStore {
+ public:
+  explicit PlanFeedbackStore(size_t capacity = 256, size_t max_ops = 8,
+                             size_t max_plans = 8)
+      : capacity_(capacity), max_ops_(max_ops), max_plans_(max_plans) {}
+  PlanFeedbackStore(const PlanFeedbackStore&) = delete;
+  PlanFeedbackStore& operator=(const PlanFeedbackStore&) = delete;
+
+  // Captures one compile of the statement shape `digest`: replaces the
+  // stored rewrite trace with this compile's. `text` is stored on first
+  // sight.
+  void RecordCompile(uint64_t digest, const std::string& text,
+                     const RewriteTrace& trace);
+
+  // What RecordExecution observed about plan stability.
+  struct PlanChange {
+    bool changed = false;  // plan hash differs from the previous execution
+    uint64_t from = 0;
+    uint64_t to = 0;
+    int64_t executions = 0;  // total executions of the digest so far
+  };
+
+  // Captures one execution: folds `feedback` into the per-digest worst-
+  // offender list (sorted by q-error, truncated to max_ops) and accounts
+  // the plan hash in the plan history (evicting the oldest-seen plan past
+  // max_plans). Returns whether the plan flipped relative to the previous
+  // execution of this digest.
+  PlanChange RecordExecution(uint64_t digest, const std::string& text,
+                             uint64_t plan_hash, const std::string& plan_shape,
+                             int64_t execute_us,
+                             std::vector<OpFeedback> feedback);
+
+  // The worst misestimate recorded for `digest` (empty-op OpFeedback when
+  // none) — the slow-query-log annotation.
+  OpFeedback TopMisestimate(uint64_t digest) const;
+
+  // All entries, in digest order.
+  std::vector<PlanFeedbackSnapshot> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t dropped() const;
+  void Reset();
+
+ private:
+  struct Entry {
+    std::string text;
+    int64_t compiles = 0;
+    int64_t executions = 0;
+    int64_t plan_changes = 0;
+    RewriteTrace trace;
+    std::vector<OpFeedback> worst;
+    std::vector<PlanRecord> plans;
+    uint64_t current_plan = 0;
+    bool has_plan = false;
+  };
+
+  // Looks up (or creates, capacity permitting) the entry; requires mu_.
+  Entry* Find(uint64_t digest, const std::string& text);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t max_ops_;
+  size_t max_plans_;
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace obs
+}  // namespace xnfdb
+
+#endif  // XNFDB_OBS_PLAN_FEEDBACK_H_

@@ -54,6 +54,9 @@ class OneRowOp : public Operator {
     done_ = true;
     return true;
   }
+
+ public:
+  OneRowOp() { SetEstimatedRows(1.0); }
   void CloseImpl() override {}
   void ExplainImpl(int depth, std::string* out) const override {
     SelfLine(depth, "OneRow", out);
@@ -73,7 +76,9 @@ Result<OperatorPtr> Planner::BoxIterator(int box_id) {
                 box->kind != BoxKind::kBaseTable;
   if (shared) {
     XNFDB_ASSIGN_OR_RETURN(auto rows, MaterializeBox(box_id));
-    OperatorPtr op = std::make_unique<MaterializedOp>(std::move(rows), stats_);
+    OperatorPtr op = std::make_unique<MaterializedOp>(rows, stats_);
+    // The spool is already materialized: the "estimate" is exact.
+    op->SetEstimatedRows(static_cast<double>(rows->size()));
     if (options_.analyze) op->EnableAnalyze();
     if (options_.context != nullptr) op->AttachContext(options_.context);
     return op;
@@ -108,42 +113,60 @@ Result<OperatorPtr> Planner::CompileBox(int box_id) {
     return Status::Internal("compiling dead box " + std::to_string(box_id));
   }
   if (stats_ != nullptr) ++stats_->operators_created;
+  OperatorPtr op;
   switch (box->kind) {
     case BoxKind::kBaseTable: {
       if (const VirtualTableProvider* v =
               catalog_->GetVirtualTable(box->table_name)) {
-        return OperatorPtr(std::make_unique<VirtualScanOp>(v, stats_));
+        op = std::make_unique<VirtualScanOp>(v, stats_);
+        break;
       }
       XNFDB_ASSIGN_OR_RETURN(Table * table,
                              catalog_->GetTable(box->table_name));
-      return OperatorPtr(std::make_unique<ScanOp>(table, stats_));
+      op = std::make_unique<ScanOp>(table, stats_);
+      break;
     }
-    case BoxKind::kSelect:
-      return CompileSelect(*box);
-    case BoxKind::kUnion:
-      return CompileUnion(*box);
+    case BoxKind::kSelect: {
+      XNFDB_ASSIGN_OR_RETURN(op, CompileSelect(*box));
+      break;
+    }
+    case BoxKind::kUnion: {
+      XNFDB_ASSIGN_OR_RETURN(op, CompileUnion(*box));
+      break;
+    }
     case BoxKind::kXnf:
     case BoxKind::kTop:
       return Status::Internal(std::string("cannot compile ") +
                               qgm::BoxKindName(box->kind) + " box directly");
   }
-  return Status::Internal("unknown box kind");
+  if (op == nullptr) return Status::Internal("unknown box kind");
+  if (op->estimated_rows() < 0) op->SetEstimatedRows(EstimateCard(box_id));
+  return op;
 }
 
 Result<OperatorPtr> Planner::CompileUnion(const Box& box) {
   std::vector<OperatorPtr> children;
+  double est = 0;
   for (int in : box.union_inputs) {
     XNFDB_ASSIGN_OR_RETURN(OperatorPtr c, BoxIterator(in));
+    est += EstimateCard(in);
     children.push_back(std::move(c));
   }
   OperatorPtr u = std::make_unique<UnionOp>(std::move(children));
-  if (box.distinct) u = std::make_unique<DistinctOp>(std::move(u));
+  u->SetEstimatedRows(std::max(est, 1.0));
+  if (box.distinct) {
+    u = std::make_unique<DistinctOp>(std::move(u));
+    u->SetEstimatedRows(std::max(est, 1.0));
+  }
   return u;
 }
 
 Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
                                          std::vector<const Expr*> pushed) {
   const Box* source = graph_->box(q.box_id);
+  // The stream's estimated cardinality with every pushed predicate applied
+  // — computed up front, before access-path selection consumes predicates.
+  const double total = QuantCard(q, pushed);
   OperatorPtr op;
   // Access-path selection: `col = literal` on an indexed base-table column.
   // Virtual tables (sys$ views) have no indexes: HasTable excludes them.
@@ -170,6 +193,8 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
       if (table->GetIndex(col->column) == nullptr) continue;
       op = std::make_unique<IndexScanOp>(table, col->column, lit->literal,
                                          stats_);
+      op->SetEstimatedRows(
+          std::max(EstimateCard(q.box_id) * PredSelectivity(*p), 1.0));
       pushed.erase(pushed.begin() + i);
       break;
     }
@@ -244,9 +269,12 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
       used.push_back(i);
     }
     if (best_col >= 0) {
+      double sel = 1.0;
+      for (size_t i : used) sel *= PredSelectivity(*pushed[i]);
       op = std::make_unique<RangeScanOp>(table, best_col, std::move(lo),
                                          lo_inc, std::move(hi), hi_inc,
                                          stats_);
+      op->SetEstimatedRows(std::max(EstimateCard(q.box_id) * sel, 1.0));
       for (auto it = used.rbegin(); it != used.rend(); ++it) {
         pushed.erase(pushed.begin() + *it);
       }
@@ -260,7 +288,10 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
     layout.Add(q.id, 0, source->HeadArity());
     op = std::make_unique<FilterOp>(std::move(op), std::move(pushed), layout,
                                     stats_);
+    op->SetEstimatedRows(total);
   }
+  // Sources estimated at creation (scans, spools) keep their own numbers.
+  if (op->estimated_rows() < 0) op->SetEstimatedRows(total);
   return op;
 }
 
@@ -444,6 +475,9 @@ Result<OperatorPtr> Planner::BuildJoinTree(
   current_layout.Add(q0->id, 0, width);
   joined.insert(q0->id);
   std::vector<bool> pred_used(join_preds.size(), false);
+  // Running cardinality estimate of the joined prefix, stamped on each
+  // join operator as it is built.
+  double card = QuantCard(*q0, pushed[q0->id]);
 
   while (!remaining.empty()) {
     int pick = cheapest(true, joined);
@@ -493,6 +527,9 @@ Result<OperatorPtr> Planner::BuildJoinTree(
       }
       if (!is_equi) residual.push_back(p);
     }
+    card *= QuantCard(*q, pushed[q->id]);
+    for (const Expr* p : ready) card *= PredSelectivity(*p);
+    card = std::max(card, 1.0);
     if (!left_keys.empty()) {
       current = std::make_unique<HashJoinOp>(
           std::move(current), std::move(inner), std::move(left_keys),
@@ -503,6 +540,7 @@ Result<OperatorPtr> Planner::BuildJoinTree(
                                            std::move(inner), std::move(residual),
                                            combined, stats_);
     }
+    current->SetEstimatedRows(card);
     current_layout = combined;
     width += inner_width;
     joined.insert(q->id);
@@ -515,8 +553,10 @@ Result<OperatorPtr> Planner::BuildJoinTree(
     if (!pred_used[i]) leftover.push_back(join_preds[i]);
   }
   if (!leftover.empty()) {
+    for (const Expr* p : leftover) card *= PredSelectivity(*p);
     current = std::make_unique<FilterOp>(
         std::move(current), std::move(leftover), current_layout, stats_);
+    current->SetEstimatedRows(std::max(card, 1.0));
   }
   *layout = current_layout;
   return current;
@@ -588,9 +628,15 @@ Result<OperatorPtr> Planner::CompileSelect(const Box& box) {
       }
       checks.push_back(std::move(check));
     }
+    const double child_est = current->estimated_rows();
     current = std::make_unique<ExistsFilterOp>(
         std::move(current), std::move(checks), layout,
         box.groups_disjunctive, options_.naive_exists, stats_);
+    if (child_est >= 0) {
+      double est = child_est;
+      for (size_t i = 0; i < box.exists_groups.size(); ++i) est *= 0.5;
+      current->SetEstimatedRows(std::max(est, 1.0));
+    }
   }
 
   // Aggregation or plain projection to the head.
@@ -613,24 +659,44 @@ Result<OperatorPtr> Planner::CompileSelect(const Box& box) {
       }
       specs.push_back(spec);
     }
+    const double child_est = current->estimated_rows();
     current = std::make_unique<AggOp>(std::move(current), std::move(group_by),
                                       std::move(specs), layout);
+    // Scalar aggregation collapses to one row; grouped keeps ~10% of input.
+    current->SetEstimatedRows(
+        box.group_by.empty()
+            ? 1.0
+            : std::max(child_est >= 0 ? child_est * 0.1 : 1.0, 1.0));
   } else {
+    const double child_est = current->estimated_rows();
     std::vector<const Expr*> exprs;
     for (const qgm::HeadColumn& h : box.head) exprs.push_back(h.expr.get());
     current = std::make_unique<ProjectOp>(std::move(current),
                                           std::move(exprs), layout, stats_);
+    if (child_est >= 0) current->SetEstimatedRows(child_est);
   }
 
   if (box.distinct) {
+    const double child_est = current->estimated_rows();
     current = std::make_unique<DistinctOp>(std::move(current));
+    if (child_est >= 0) current->SetEstimatedRows(child_est);
   }
   if (!box.order_by.empty()) {
+    const double child_est = current->estimated_rows();
     current = std::make_unique<SortOp>(std::move(current), box.order_by);
+    if (child_est >= 0) current->SetEstimatedRows(child_est);
   }
   if (box.limit >= 0 || box.offset > 0) {
+    const double child_est = current->estimated_rows();
     current =
         std::make_unique<LimitOp>(std::move(current), box.limit, box.offset);
+    if (child_est >= 0) {
+      current->SetEstimatedRows(
+          box.limit >= 0
+              ? std::max(std::min(static_cast<double>(box.limit), child_est),
+                         1.0)
+              : child_est);
+    }
   }
   return current;
 }

@@ -44,18 +44,30 @@ class ExistsToJoinRule : public RewriteRule {
       // Aggregating boxes are excluded: the join would change group
       // cardinalities.
       if (b->exists_groups.empty()) continue;
-      if (b->groups_disjunctive && b->exists_groups.size() != 1) continue;
-      if (!b->group_by.empty()) continue;
+      if (b->groups_disjunctive && b->exists_groups.size() != 1) {
+        CountRejected();
+        continue;
+      }
+      if (!b->group_by.empty()) {
+        CountRejected();
+        continue;
+      }
       size_t gi = 0;
       while (gi < b->exists_groups.size() && b->exists_groups[gi].negated) {
         ++gi;
       }
-      if (gi == b->exists_groups.size()) continue;
+      if (gi == b->exists_groups.size()) {
+        CountRejected();
+        continue;
+      }
       bool has_agg = false;
       for (const HeadColumn& h : b->head) {
         if (h.expr && ContainsAgg(*h.expr)) has_agg = true;
       }
-      if (has_agg) continue;
+      if (has_agg) {
+        CountRejected();
+        continue;
+      }
 
       qgm::ExistsGroup group = std::move(b->exists_groups[gi]);
       b->exists_groups.erase(b->exists_groups.begin() + gi);
@@ -95,7 +107,13 @@ class SelectMergeRule : public RewriteRule {
       for (size_t qi = 0; qi < b->quants.size(); ++qi) {
         if (b->quants[qi].kind != QuantKind::kForeach) continue;
         Box* child = graph->box(b->quants[qi].box_id);
-        if (!Mergeable(*graph, *b, *child)) continue;
+        if (child->kind != BoxKind::kSelect) continue;
+        if (!Mergeable(*graph, *b, *child)) {
+          // A kSelect child the conditions decline is a real candidate the
+          // rule saw and skipped — worth counting in the trace.
+          CountRejected();
+          continue;
+        }
         XNFDB_RETURN_IF_ERROR(Merge(graph, b, qi));
         return true;
       }

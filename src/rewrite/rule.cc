@@ -1,8 +1,19 @@
 #include "rewrite/rule.h"
 
+#include <chrono>
 #include <sstream>
 
 namespace xnfdb {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 int RewriteStats::TotalFirings() const {
   int total = 0;
@@ -19,10 +30,21 @@ std::string RewriteStats::ToString() const {
   return os.str();
 }
 
-Result<RewriteStats> RuleEngine::Run(qgm::QueryGraph* graph, int max_passes) {
+size_t LiveBoxCount(const qgm::QueryGraph& graph) {
+  size_t live = 0;
+  for (size_t id = 0; id < graph.box_count(); ++id) {
+    if (!graph.IsDead(static_cast<int>(id))) ++live;
+  }
+  return live;
+}
+
+Result<RewriteStats> RuleEngine::Run(qgm::QueryGraph* graph, int max_passes,
+                                     const RuleEngineHooks& hooks) {
   RewriteStats stats;
+  const int64_t run_t0 = NowUs();
   for (const auto& rule : rules_) {
     stats.firings.push_back(RuleFiring{rule->name(), 0});
+    rule->TakeRejected();  // clear any residue from a failed prior run
   }
   for (int pass = 0; pass < max_passes; ++pass) {
     ++stats.passes;
@@ -31,7 +53,24 @@ Result<RewriteStats> RuleEngine::Run(qgm::QueryGraph* graph, int max_passes) {
       // A rule keeps the floor as long as it fires, like the Starburst
       // rule engine's budgeted repetition.
       while (true) {
+        obs::Span span;
+        if (hooks.tracer != nullptr && hooks.tracer->enabled()) {
+          span = hooks.tracer->StartSpan(std::string("rule ") +
+                                         rules_[i]->name());
+        }
+        obs::RewriteEvent event;
+        event.rule = rules_[i]->name();
+        event.pass = pass + 1;
+        event.boxes_before = static_cast<int>(LiveBoxCount(*graph));
+        const int64_t t0 = NowUs();
         XNFDB_ASSIGN_OR_RETURN(bool fired, rules_[i]->Apply(graph));
+        event.wall_us = NowUs() - t0;
+        event.fired = fired;
+        event.rejected = rules_[i]->TakeRejected();
+        event.boxes_after = static_cast<int>(LiveBoxCount(*graph));
+        stats.firings[i].rejected += event.rejected;
+        stats.firings[i].wall_us += event.wall_us;
+        stats.trace.Add(std::move(event));
         if (!fired) break;
         ++stats.firings[i].fired;
         any = true;
@@ -48,6 +87,23 @@ Result<RewriteStats> RuleEngine::Run(qgm::QueryGraph* graph, int max_passes) {
     if (!any) break;
   }
   XNFDB_RETURN_IF_ERROR(graph->Validate());
+  stats.total_us = NowUs() - run_t0;
+  if (hooks.metrics != nullptr) {
+    hooks.metrics->GetCounter("rewrite.passes")->Increment(stats.passes);
+    for (const RuleFiring& f : stats.firings) {
+      const std::string prefix = "rewrite.rule." + f.rule;
+      if (f.fired > 0) {
+        hooks.metrics->GetCounter(prefix + ".fired")->Increment(f.fired);
+      }
+      if (f.rejected > 0) {
+        hooks.metrics->GetCounter(prefix + ".rejected")
+            ->Increment(f.rejected);
+      }
+      if (f.wall_us > 0) {
+        hooks.metrics->GetCounter(prefix + ".us")->Increment(f.wall_us);
+      }
+    }
+  }
   return stats;
 }
 

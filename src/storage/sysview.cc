@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/plan_feedback.h"
 #include "obs/query_profile.h"
 #include "obs/sampler.h"
 #include "obs/statement_stats.h"
@@ -251,6 +252,132 @@ class QueryProfilesProvider : public VirtualTableProvider {
   const obs::QueryProfileStore* profiles_;
 };
 
+// SYS$REWRITES: the most recent compile's ordered rewrite-rule log per
+// statement shape — one row per rule application attempt, in firing order.
+class RewritesProvider : public VirtualTableProvider {
+ public:
+  explicit RewritesProvider(const obs::PlanFeedbackStore* feedback)
+      : name_("SYS$REWRITES"),
+        schema_(MakeSchema({{"DIGEST", DataType::kString},
+                            {"SEQ", DataType::kInt},
+                            {"PASS", DataType::kInt},
+                            {"RULE", DataType::kString},
+                            {"FIRED", DataType::kInt},
+                            {"REJECTED", DataType::kInt},
+                            {"US", DataType::kInt},
+                            {"BOXES_BEFORE", DataType::kInt},
+                            {"BOXES_AFTER", DataType::kInt}})),
+        feedback_(feedback) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::PlanFeedbackSnapshot& s : feedback_->Snapshot()) {
+      int64_t seq = 0;
+      for (const obs::RewriteEvent& e : s.trace.events) {
+        rows.push_back({Value(s.digest_hex), Value(++seq),
+                        Value(int64_t{e.pass}), Value(e.rule),
+                        Value(int64_t{e.fired ? 1 : 0}), Value(e.rejected),
+                        Value(e.wall_us), Value(int64_t{e.boxes_before}),
+                        Value(int64_t{e.boxes_after})});
+      }
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 128.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::PlanFeedbackStore* feedback_;
+};
+
+// SYS$PLAN_FEEDBACK: each statement shape's worst estimate-vs-actual
+// offenders, ranked by q-error.
+class PlanFeedbackProvider : public VirtualTableProvider {
+ public:
+  explicit PlanFeedbackProvider(const obs::PlanFeedbackStore* feedback)
+      : name_("SYS$PLAN_FEEDBACK"),
+        schema_(MakeSchema({{"DIGEST", DataType::kString},
+                            {"RANK", DataType::kInt},
+                            {"OUTPUT", DataType::kString},
+                            {"OP", DataType::kString},
+                            {"EST_ROWS", DataType::kInt},
+                            {"ACTUAL_ROWS", DataType::kInt},
+                            {"LOOPS", DataType::kInt},
+                            {"Q_ERROR", DataType::kDouble}})),
+        feedback_(feedback) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::PlanFeedbackSnapshot& s : feedback_->Snapshot()) {
+      int64_t rank = 0;
+      for (const obs::OpFeedback& f : s.worst) {
+        rows.push_back({Value(s.digest_hex), Value(++rank), Value(f.output),
+                        Value(f.op),
+                        Value(static_cast<int64_t>(f.est_rows + 0.5)),
+                        Value(f.actual_rows), Value(f.loops),
+                        Value(f.q_error)});
+      }
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 64.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::PlanFeedbackStore* feedback_;
+};
+
+// SYS$PLAN_HISTORY: every distinct physical plan shape a statement has
+// executed with; CURRENT = 1 marks the most recent one.
+class PlanHistoryProvider : public VirtualTableProvider {
+ public:
+  explicit PlanHistoryProvider(const obs::PlanFeedbackStore* feedback)
+      : name_("SYS$PLAN_HISTORY"),
+        schema_(MakeSchema({{"DIGEST", DataType::kString},
+                            {"PLAN_HASH", DataType::kString},
+                            {"PLAN_SHAPE", DataType::kString},
+                            {"FIRST_SEEN_US", DataType::kInt},
+                            {"LAST_SEEN_US", DataType::kInt},
+                            {"EXECUTIONS", DataType::kInt},
+                            {"MEAN_EXECUTE_US", DataType::kInt},
+                            {"CURRENT", DataType::kInt}})),
+        feedback_(feedback) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::PlanFeedbackSnapshot& s : feedback_->Snapshot()) {
+      for (const obs::PlanRecord& p : s.plans) {
+        rows.push_back(
+            {Value(s.digest_hex), Value(obs::DigestHex(p.plan_hash)),
+             Value(p.shape), Value(p.first_seen_us), Value(p.last_seen_us),
+             Value(p.executions), Value(p.mean_execute_us()),
+             Value(int64_t{p.plan_hash == s.current_plan ? 1 : 0})});
+      }
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 64.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::PlanFeedbackStore* feedback_;
+};
+
 // SYS$CACHE: the CO cache / write-back slice of the metric namespace.
 class CacheProvider : public VirtualTableProvider {
  public:
@@ -333,7 +460,8 @@ class TablesProvider : public VirtualTableProvider {
 
 Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
                            const obs::StatementStore* statements,
-                           const obs::QueryProfileStore* profiles) {
+                           const obs::QueryProfileStore* profiles,
+                           const obs::PlanFeedbackStore* feedback) {
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
       std::make_unique<MetricsProvider>(metrics)));
   XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
@@ -347,6 +475,14 @@ Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
   if (profiles != nullptr) {
     XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
         std::make_unique<QueryProfilesProvider>(profiles)));
+  }
+  if (feedback != nullptr) {
+    XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+        std::make_unique<RewritesProvider>(feedback)));
+    XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+        std::make_unique<PlanFeedbackProvider>(feedback)));
+    XNFDB_RETURN_IF_ERROR(catalog->RegisterVirtualTable(
+        std::make_unique<PlanHistoryProvider>(feedback)));
   }
   return Status::Ok();
 }

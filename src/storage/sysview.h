@@ -32,6 +32,18 @@
 //                  OP_SELF_US, OP_INCL_US)
 //       the always-on profile store: per-operator-class rows (WORKER NULL)
 //       plus one 'morsel_worker' row per worker of the last capture
+//   SYS$REWRITES(DIGEST, SEQ, PASS, RULE, FIRED, REJECTED, US,
+//                  BOXES_BEFORE, BOXES_AFTER)
+//       the per-statement rewrite-rule trace: one row per rule application
+//       in firing order (SEQ); PASS 0 is the XNF semantic rewrite phase
+//   SYS$PLAN_FEEDBACK(DIGEST, RANK, OUTPUT, OP, EST_ROWS, ACTUAL_ROWS,
+//                  LOOPS, Q_ERROR)
+//       cardinality feedback: each statement's worst estimate-vs-actual
+//       offenders, ranked by q-error (RANK 1 = worst)
+//   SYS$PLAN_HISTORY(DIGEST, PLAN_HASH, PLAN_SHAPE, FIRST_SEEN_US,
+//                  LAST_SEEN_US, EXECUTIONS, MEAN_EXECUTE_US, CURRENT)
+//       plan-change detection: every physical plan shape a statement has
+//       executed with; CURRENT = 1 marks the most recent plan
 //
 // When a QueryProfileStore is supplied, SYS$STATEMENTS additionally carries
 // SCAN_SELF_US / JOIN_SELF_US / FILTER_SELF_US / OTHER_SELF_US — cumulative
@@ -55,6 +67,7 @@ class Catalog;
 namespace obs {
 class MetricsRegistry;
 class MetricsSampler;
+class PlanFeedbackStore;
 class QueryProfileStore;
 class StatementStore;
 }  // namespace obs
@@ -77,12 +90,14 @@ class VirtualTableProvider {
 };
 
 // Registers the built-in sys$ views against `catalog`. `metrics`,
-// `statements` and `profiles` must outlive the catalog; `catalog` itself
-// backs SYS$TABLES. `profiles` may be null (SYS$STATEMENTS then reports
-// zero self times).
+// `statements`, `profiles` and `feedback` must outlive the catalog;
+// `catalog` itself backs SYS$TABLES. `profiles` may be null (SYS$STATEMENTS
+// then reports zero self times); `feedback` may be null (the plan-quality
+// views are then not registered).
 Status RegisterSystemViews(Catalog* catalog, obs::MetricsRegistry* metrics,
                            const obs::StatementStore* statements,
-                           const obs::QueryProfileStore* profiles = nullptr);
+                           const obs::QueryProfileStore* profiles = nullptr,
+                           const obs::PlanFeedbackStore* feedback = nullptr);
 
 // SYS$METRICS_HISTORY over one sampler's ring. Registered by the Database
 // (the sampler is api-owned state, like the governor's SYS$QUERIES).

@@ -1,11 +1,23 @@
 #include "xnf/compiler.h"
 
+#include <chrono>
+
 #include "obs/phase.h"
 #include "parser/fingerprint.h"
 #include "parser/parser.h"
 #include "semantics/builder.h"
 
 namespace xnfdb {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Result<CompiledQuery> CompileSelect(const Catalog& catalog,
                                     const ast::SelectStmt& select,
@@ -23,7 +35,9 @@ Result<CompiledQuery> CompileSelect(const Catalog& catalog,
   if (options.run_nf_rewrite) {
     obs::PhaseScope phase(options.tracer, options.metrics, "nf_rewrite");
     RuleEngine engine(MakeNfRules(options.nf));
-    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
+    RuleEngineHooks hooks{options.tracer, options.metrics};
+    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats,
+                           engine.Run(out.graph.get(), 32, hooks));
   }
   return out;
 }
@@ -45,15 +59,42 @@ Result<CompiledQuery> CompileXnf(const Catalog& catalog,
     out.needs_fixpoint = true;
     return out;
   }
+  // The XNF semantic rewrite runs as one monolithic phase (same rule
+  // *representation*, single engine pass); report it into the trace as a
+  // pseudo-rule event so EXPLAIN REWRITE shows the whole pipeline.
+  obs::RewriteEvent xnf_event;
   {
     obs::PhaseScope phase(options.tracer, options.metrics, "xnf_rewrite");
+    xnf_event.rule = "XnfSemanticRewrite";
+    xnf_event.pass = 0;
+    xnf_event.fired = true;
+    xnf_event.boxes_before = static_cast<int>(LiveBoxCount(*out.graph));
+    const int64_t t0 = NowUs();
     XNFDB_RETURN_IF_ERROR(XnfSemanticRewrite(out.graph.get(), options.xnf));
+    xnf_event.wall_us = NowUs() - t0;
+    xnf_event.boxes_after = static_cast<int>(LiveBoxCount(*out.graph));
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("rewrite.rule.XnfSemanticRewrite.fired")
+        ->Increment();
+    options.metrics->GetCounter("rewrite.rule.XnfSemanticRewrite.us")
+        ->Increment(xnf_event.wall_us);
   }
   if (options.run_nf_rewrite) {
     obs::PhaseScope phase(options.tracer, options.metrics, "nf_rewrite");
     RuleEngine engine(MakeNfRules(options.nf));
-    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats, engine.Run(out.graph.get()));
+    RuleEngineHooks hooks{options.tracer, options.metrics};
+    XNFDB_ASSIGN_OR_RETURN(out.rewrite_stats,
+                           engine.Run(out.graph.get(), 32, hooks));
   }
+  // engine.Run replaced rewrite_stats wholesale; prepend the semantic
+  // rewrite so trace order matches execution order.
+  out.rewrite_stats.firings.insert(
+      out.rewrite_stats.firings.begin(),
+      RuleFiring{xnf_event.rule, 1, 0, xnf_event.wall_us});
+  out.rewrite_stats.total_us += xnf_event.wall_us;
+  out.rewrite_stats.trace.events.insert(
+      out.rewrite_stats.trace.events.begin(), std::move(xnf_event));
   return out;
 }
 

@@ -76,6 +76,31 @@ TEST(ExplainAnalyzeTest, WithoutAnalyzeFallsBackToPlainExplain) {
   EXPECT_EQ(plain.value().find("actual rows="), std::string::npos);
 }
 
+TEST(ExplainAnalyzeTest, PlainExplainShowsEstimatedRows) {
+  Database db;
+  ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  // Plain EXPLAIN (no execution) prints the planner's estimates, so a plan
+  // can be sanity-checked before it is run.
+  Result<std::string> plain = db.Explain("SELECT ENO FROM EMP");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_NE(plain.value().find("est rows="), std::string::npos)
+      << plain.value();
+  Result<std::string> arc = db.Explain(testing_util::kDepsArcQuery);
+  ASSERT_TRUE(arc.ok());
+  EXPECT_NE(arc.value().find("est rows="), std::string::npos) << arc.value();
+}
+
+TEST(ExplainAnalyzeTest, AnalyzeAnnotatesQError) {
+  Database db;
+  ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  Result<std::string> out = db.Explain("SELECT ENO FROM EMP",
+                                       Database::ExplainOptions{true});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // With both an estimate and actuals on the line, the q-error is printed.
+  EXPECT_NE(out.value().find("est rows="), std::string::npos) << out.value();
+  EXPECT_NE(out.value().find(" q="), std::string::npos) << out.value();
+}
+
 TEST(ExplainAnalyzeTest, RootActualRowsMatchExecStatsOnSql) {
   Database db;
   ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
