@@ -7,6 +7,7 @@
 #include <random>
 #include <sstream>
 
+#include "common/str_util.h"
 #include "obs/metrics.h"
 
 namespace xnfdb {
@@ -47,10 +48,7 @@ void WriteBenchJson(const std::string& name,
       << ",\"metrics\":" << obs::MetricsRegistry::Default().ToJson() << "}\n";
 }
 
-bool SmokeMode() {
-  const char* v = std::getenv("XNFDB_BENCH_SMOKE");
-  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
-}
+bool SmokeMode() { return ParseEnvBool("XNFDB_BENCH_SMOKE", false); }
 
 std::vector<int> Scales(std::vector<int> full) {
   if (SmokeMode() && full.size() > 1) full.resize(1);

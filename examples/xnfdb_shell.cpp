@@ -18,6 +18,12 @@
 //   .top [n]            top statement shapes by total wall time, with the
 //                       profiler's per-class self-time split
 //   .watchdog <ms>|off  arm the stuck-query watchdog at <ms> stall time
+//   .events [n]         tail of the flight recorder (SYS$EVENTS), newest last
+//   .health             per-rule health state (SYS$HEALTH) + report JSON
+//   .alerts             OK<->FIRING transition history (SYS$ALERTS)
+//   .diag <dir>         write a diagnostic bundle (crash-style report,
+//                       metrics, events, health, queries, samples, profiles,
+//                       plan feedback, env) into <dir>
 //   .dot <query>        emit the query graph in Graphviz DOT
 //   .save <file>        persist the database
 //   .open <file>        load a database (into an empty shell)
@@ -180,15 +186,18 @@ int main() {
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         std::printf(
-            ".tables | .explain [rewrite] <q> | .analyze <q> | .dot <q> | "
-            ".metrics [table] | .queries | .kill <id> | .slowlog <us>|off | "
-            ".sample | .history [substr] | .profiles | .rewrites | "
-            ".feedback | .plans | .top [n] | "
+            "query:         .tables | .explain [rewrite] <q> | .analyze <q> | "
+            ".dot <q>\n"
+            "observability: .metrics [table] | .sample | .history [substr] | "
+            ".profiles | .rewrites | .feedback | .plans | .top [n] | "
+            ".events [n] | .health | .alerts | .diag <dir>\n"
+            "admin:         .queries | .kill <id> | .slowlog <us>|off | "
             ".watchdog <ms>|off | .save <f> | .open <f> | .quit\n"
             "Statements end with ';'. System views: sys$metrics, "
             "sys$histograms, sys$statements, sys$cache, sys$tables, "
             "sys$queries, sys$metrics_history, sys$query_profiles, "
-            "sys$rewrites, sys$plan_feedback, sys$plan_history.\n");
+            "sys$rewrites, sys$plan_feedback, sys$plan_history, "
+            "sys$events, sys$health, sys$alerts.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -345,6 +354,70 @@ int main() {
                       static_cast<long long>(wopts.stall_ms),
                       static_cast<long long>(wopts.poll_ms),
                       wopts.auto_cancel ? "on" : "off");
+        }
+      } else if (cmd == ".events") {
+        std::vector<xnfdb::obs::FlightRecorder::Event> events =
+            db.events().Snapshot();
+        size_t limit = events.size();
+        if (!arg.empty()) {
+          long long n = std::atoll(arg.c_str());
+          if (n > 0 && static_cast<size_t>(n) < limit) {
+            limit = static_cast<size_t>(n);
+          }
+        }
+        for (size_t i = events.size() - limit; i < events.size(); ++i) {
+          const auto& e = events[i];
+          std::printf("#%lld ts_us=%lld [%s] %s: %s",
+                      static_cast<long long>(e.seq),
+                      static_cast<long long>(e.ts_us), e.severity.c_str(),
+                      e.category.c_str(), e.message.c_str());
+          if (!e.detail.empty()) std::printf(" | %s", e.detail.c_str());
+          if (e.repeated > 1) {
+            std::printf(" (x%lld)", static_cast<long long>(e.repeated));
+          }
+          std::printf("\n");
+        }
+        std::printf("(%zu event%s shown; recorded=%lld coalesced=%lld "
+                    "ring=%zu %s)\n",
+                    limit, limit == 1 ? "" : "s",
+                    static_cast<long long>(db.events().recorded()),
+                    static_cast<long long>(db.events().coalesced()),
+                    db.events().capacity(),
+                    db.events().enabled() ? "on" : "off");
+      } else if (cmd == ".health") {
+        std::printf("%-22s %-26s %-10s %-6s %-10s  %s\n", "RULE", "SERIES",
+                    "FIELD", "CMP", "STATE", "LAST_VALUE");
+        for (const xnfdb::obs::RuleState& s : db.health().Snapshot()) {
+          std::printf("%-22s %-26s %-10s %-6s %-10s  %g\n",
+                      s.rule.name.c_str(), s.rule.series.c_str(),
+                      xnfdb::obs::HealthFieldName(s.rule.field),
+                      xnfdb::obs::HealthCmpName(s.rule.cmp), s.state.c_str(),
+                      s.last_value);
+        }
+        std::printf("%s\n", db.HealthReport().c_str());
+      } else if (cmd == ".alerts") {
+        size_t n = 0;
+        for (const xnfdb::obs::AlertTransition& a : db.health().Alerts()) {
+          std::printf("#%lld ts_us=%lld %s (%s) %s -> %s value=%g bound=%g\n",
+                      static_cast<long long>(a.seq),
+                      static_cast<long long>(a.ts_us), a.rule.c_str(),
+                      a.series.c_str(), a.from.c_str(), a.to.c_str(), a.value,
+                      a.bound);
+          ++n;
+        }
+        std::printf("(%zu transition%s; rules evaluate on sampler ticks — "
+                    ".sample forces one)\n", n, n == 1 ? "" : "s");
+      } else if (cmd == ".diag") {
+        if (arg.empty()) {
+          std::printf("usage: .diag <dir>  (writes a diagnostic bundle)\n");
+        } else {
+          Status s = db.WriteDiagnosticBundle(arg);
+          if (s.ok()) {
+            std::printf("diagnostic bundle written to %s\n", arg.c_str());
+          } else {
+            std::printf("bundle partially written to %s: %s\n", arg.c_str(),
+                        s.ToString().c_str());
+          }
         }
       } else if (cmd == ".slowlog") {
         if (arg == "off" || arg.empty()) {

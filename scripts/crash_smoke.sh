@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Crash-forensics smoke: SIGSEGV an engine process that is busy executing
+# queries and assert the crash handler left a usable post-mortem — a report
+# file carrying a backtrace and the flight-recorder tail of the queries it
+# was running. Run from the repo root after building; BUILD_DIR overrides
+# the build tree (default: build).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SHELL_BIN="$BUILD_DIR/examples/xnfdb_shell"
+[ -x "$SHELL_BIN" ] || { echo "missing $SHELL_BIN — build first" >&2; exit 1; }
+
+CRASH_DIR="$(mktemp -d)"
+cleanup() { rm -rf "$CRASH_DIR"; }
+trap cleanup EXIT
+
+# Feed the shell an endless query stream through a FIFO so the process is
+# mid-workload when the signal lands.
+fifo="$CRASH_DIR/in"
+mkfifo "$fifo"
+yes 'SELECT NAME, KIND FROM SYS$METRICS;' > "$fifo" &
+feeder=$!
+XNFDB_CRASH_DIR="$CRASH_DIR" "$SHELL_BIN" < "$fifo" > /dev/null 2>&1 &
+victim=$!
+
+sleep 1
+kill -SEGV "$victim" 2>/dev/null || true
+set +e
+wait "$victim"
+status=$?
+set -e
+kill "$feeder" 2>/dev/null || true
+wait "$feeder" 2>/dev/null || true
+
+# The handler re-raises after writing, so the process must still die of
+# SIGSEGV (128 + 11).
+[ "$status" -eq 139 ] || {
+  echo "expected the shell to die of SIGSEGV (139), got $status" >&2
+  exit 1
+}
+
+report=$(ls "$CRASH_DIR"/crash_*.txt 2>/dev/null | head -1)
+[ -n "$report" ] || { echo "no crash report written to $CRASH_DIR" >&2; exit 1; }
+echo "--- crash report ($report) ---"
+cat "$report"
+
+grep -q -- '=== xnfdb crash report ===' "$report" \
+  || { echo "report missing header" >&2; exit 1; }
+grep -q -- '--- backtrace ---' "$report" \
+  || { echo "report missing backtrace section" >&2; exit 1; }
+grep -q 'query start' "$report" \
+  || { echo "flight-recorder tail holds no query events" >&2; exit 1; }
+
+echo "crash smoke OK: report has a backtrace and flight-recorder events"

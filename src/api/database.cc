@@ -2,9 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "common/crash.h"
+#include "common/file_format.h"
 #include "common/log.h"
 #include "common/str_util.h"
 #include "exec/expr_eval.h"
@@ -116,20 +120,71 @@ const char* StatementKindTag(const ast::Statement& stmt) {
   }
 }
 
+// Status -> flight-event keyword for a query's termination.
+const char* TerminationKeyword(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline";
+    case StatusCode::kResourceExhausted: return "budget";
+    default: return "error";
+  }
+}
+
 }  // namespace
 
 Database::Database(Env* env) : env_(env) {
-  capture_profiles_ = ParseEnvInt("XNFDB_QUERY_PROFILES", 0, 1, 1) != 0;
-  capture_feedback_ = ParseEnvInt("XNFDB_PLAN_FEEDBACK", 0, 1, 1) != 0;
+  capture_profiles_ = ParseEnvBool("XNFDB_QUERY_PROFILES", true);
+  capture_feedback_ = ParseEnvBool("XNFDB_PLAN_FEEDBACK", true);
+  // Re-resolve the forensics knob with the checked parser: the recorder
+  // bootstraps from raw getenv (obs sits below common), so the warn-once
+  // diagnostics for a malformed value happen here.
+  obs::FlightRecorder::Default().set_enabled(
+      ParseEnvBool("XNFDB_EVENTS", true));
+  qerror_alert_ = ParseEnvInt("XNFDB_QERROR_ALERT", 1, 1 << 30, 100);
+  // Crash forensics: a no-op unless XNFDB_CRASH_DIR is set. The gauge of
+  // reports already on disk feeds the crash_reports health rule either way.
+  InstallCrashHandlerFromEnv();
+  metrics_->GetGauge("crash.reports_found")
+      ->Set(CountCrashReports(CrashReportDir()));
+  // Pre-register the forensic series the built-in health rules watch, so
+  // a missing subsystem reads as zero rather than an absent series.
+  metrics_->GetCounter("writeback.retries");
+  metrics_->GetCounter("writeback.failures");
   // The catalog is empty at this point, so name collisions are impossible.
   Status registered = RegisterSystemViews(&catalog_, metrics_, &statements_,
                                           &profiles_, &plan_feedback_);
   (void)registered;
-  // SYS$QUERIES, SYS$METRICS_HISTORY and the watchdog are registered /
-  // created here rather than in RegisterSystemViews because they expose
-  // api-layer state (governor, sampler), which storage cannot depend on.
+  // SYS$QUERIES, SYS$EVENTS, SYS$HEALTH, SYS$ALERTS, SYS$METRICS_HISTORY
+  // and the watchdog are registered / created here rather than in
+  // RegisterSystemViews because they expose api-layer or process-wide
+  // state (governor, recorder, health engine, sampler), which storage
+  // cannot depend on.
   Status queries = catalog_.RegisterVirtualTable(MakeQueriesProvider(&governor_));
   (void)queries;
+  Status events = catalog_.RegisterVirtualTable(
+      MakeEventsProvider(&obs::FlightRecorder::Default()));
+  (void)events;
+  for (obs::HealthRule& rule : obs::HealthEngine::BuiltinRules()) {
+    health_.AddRule(std::move(rule));
+  }
+  health_.SetAlertSink([](const obs::AlertTransition& a) {
+    // One warn line per transition; the logger feeds it into the flight
+    // recorder, so this is also the transition's one event.
+    Logger::Default().Log(
+        LogLevel::kWarn, "health",
+        a.to == "FIRING" ? "alert firing" : "alert resolved",
+        {LogField::S("rule", a.rule), LogField::S("series", a.series),
+         LogField::S("from", a.from), LogField::S("to", a.to),
+         LogField::N("value", static_cast<int64_t>(a.value)),
+         LogField::N("bound", static_cast<int64_t>(a.bound)),
+         LogField::N("seq", a.seq)});
+  });
+  Status health_view =
+      catalog_.RegisterVirtualTable(MakeHealthProvider(&health_));
+  (void)health_view;
+  Status alerts_view =
+      catalog_.RegisterVirtualTable(MakeAlertsProvider(&health_));
+  (void)alerts_view;
   obs::MetricsSampler::Options sopts;
   sopts.interval_ms = ParseEnvInt("XNFDB_METRICS_SAMPLE_MS", 0,
                                   int64_t{1} << 40, 0);
@@ -139,6 +194,14 @@ Database::Database(Env* env) : env_(env) {
   Status history =
       catalog_.RegisterVirtualTable(MakeMetricsHistoryProvider(sampler_.get()));
   (void)history;
+  // Health evaluation rides the sampler tick; the same tick refreshes the
+  // crash handler's metrics context (the handler cannot snapshot the
+  // registry itself — it only copies this pre-rendered buffer).
+  sampler_->SetOnSample(
+      [this](const std::vector<obs::MetricsSampler::Row>& rows) {
+        health_.OnSample(rows);
+        if (CrashHandlerInstalled()) SetCrashContextMetrics(metrics_->ToJson());
+      });
   if (sopts.interval_ms > 0) sampler_->Start();
   watchdog_ = std::make_unique<Watchdog>(&governor_, metrics_,
                                          WatchdogOptions::FromEnv());
@@ -276,14 +339,31 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
     ctx->SetLimits(limits);
     eo.context = std::move(ctx);
   }
-  XNFDB_ASSIGN_OR_RETURN(int64_t qid,
-                         governor_.Admit(compiled.normalized_text, eo.context));
+  // Query lifecycle events: start before admission, end after release, so
+  // the flight recorder's tail reads as a faithful interleaving of what
+  // the engine was executing when something else went wrong.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  const std::string digest_hex = obs::DigestHex(compiled.digest);
+  recorder.Record("query", "info", "query start", "digest=" + digest_hex);
+  Result<int64_t> admitted =
+      governor_.Admit(compiled.normalized_text, eo.context);
+  if (!admitted.ok()) {
+    recorder.Record("query", "warn", "query end",
+                    "digest=" + digest_hex + " status=" +
+                        TerminationKeyword(admitted.status()));
+    return admitted.status();
+  }
+  const int64_t qid = admitted.value();
   const int64_t exec_t0 = NowUs();
   Result<QueryResult> result =
       compiled.needs_fixpoint
           ? ExecuteXnfFixpoint(catalog_, *compiled.graph, eo)
           : ExecuteGraph(catalog_, *compiled.graph, eo);
   governor_.Release(qid, result.ok() ? Status::Ok() : result.status());
+  recorder.Record(
+      "query", result.ok() ? "info" : "warn", "query end",
+      "digest=" + digest_hex + " status=" +
+          (result.ok() ? "ok" : TerminationKeyword(result.status())));
   // Always-on profile capture: one store write per successful execution
   // (the fixpoint path has no operator tree, so only the summary fields are
   // meaningful there).
@@ -301,6 +381,15 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
   if (result.ok() && eo.collect_feedback && !compiled.needs_fixpoint &&
       !result.value().plan_shape.empty()) {
     QueryResult& r = result.value();
+    // Q-error blowup accounting must read the feedback before it is moved
+    // into the store below.
+    double worst_q = 0.0;
+    for (const obs::OpFeedback& f : r.feedback) {
+      if (f.est_rows >= 0 && f.q_error > worst_q) worst_q = f.q_error;
+    }
+    if (worst_q >= static_cast<double>(qerror_alert_)) {
+      qerror_blowups_->Increment();
+    }
     obs::PlanFeedbackStore::PlanChange change = plan_feedback_.RecordExecution(
         compiled.digest, compiled.normalized_text, r.plan_hash, r.plan_shape,
         NowUs() - exec_t0, std::move(r.feedback));
@@ -348,6 +437,152 @@ Status Database::SaveTo(const std::string& path) const {
 
 Status Database::LoadFrom(const std::string& path) {
   return LoadCatalogFromFile(path, &catalog_, env_);
+}
+
+Status Database::WriteDiagnosticBundle(const std::string& dir) const {
+  XNFDB_RETURN_IF_ERROR(env_->CreateDir(dir));
+  Status first_error = Status::Ok();
+  std::vector<std::string> manifest;
+  // Each bundle file is a complete XNFDIAG sectioned file (per-section
+  // CRCs, footer) written via AtomicallyWriteFile — a failed write leaves
+  // no file at all, never a torn one, and the rest of the bundle is still
+  // attempted so a partial bundle stays fully readable.
+  auto write_file = [&](const std::string& file,
+                        std::vector<FileSection> sections) {
+    std::ostringstream body;
+    WriteSectionedFile(body, "XNFDIAG 1", sections);
+    Status s = AtomicallyWriteFile(env_, dir + "/" + file, body.str());
+    manifest.push_back(file + " sections=" + std::to_string(sections.size()) +
+                       (s.ok() ? " ok" : " failed: " + s.message()));
+    if (!s.ok() && first_error.ok()) first_error = s;
+  };
+
+  write_file("report.diag",
+             {{"REPORT", 1, RenderCrashStyleReport("diagnostic bundle")}});
+  write_file("metrics.diag", {{"METRICS", 1, metrics_->ToJson() + "\n"}});
+  {
+    std::string payload;
+    std::vector<obs::FlightRecorder::Event> events =
+        obs::FlightRecorder::Default().Snapshot();
+    for (const obs::FlightRecorder::Event& e : events) {
+      payload += "#" + std::to_string(e.seq) +
+                 " ts_us=" + std::to_string(e.ts_us) + " [" + e.severity +
+                 "] " + e.category + ": " + e.message;
+      if (!e.detail.empty()) payload += " | " + e.detail;
+      if (e.repeated > 1) payload += " (x" + std::to_string(e.repeated) + ")";
+      payload += "\n";
+    }
+    write_file("events.diag",
+               {{"EVENTS", events.size(), std::move(payload)}});
+  }
+  {
+    std::string alerts;
+    std::vector<obs::AlertTransition> transitions = health_.Alerts();
+    for (const obs::AlertTransition& a : transitions) {
+      alerts += "#" + std::to_string(a.seq) +
+                " ts_us=" + std::to_string(a.ts_us) + " " + a.rule + " " +
+                a.from + "->" + a.to + "\n";
+    }
+    write_file("health.diag",
+               {{"HEALTH", 1, health_.ReportJson() + "\n"},
+                {"ALERTS", transitions.size(), std::move(alerts)}});
+  }
+  {
+    std::string live;
+    std::vector<Governor::QueryInfo> queries = governor_.Snapshot();
+    for (const Governor::QueryInfo& q : queries) {
+      live += "id=" + std::to_string(q.id) + " state=" + q.state +
+              " elapsed_us=" + std::to_string(q.elapsed_us) +
+              " rows_out=" + std::to_string(q.rows_out) +
+              " ticks=" + std::to_string(q.progress_ticks) +
+              " text=" + q.text + "\n";
+    }
+    write_file("queries.diag", {{"QUERIES", queries.size(), std::move(live)}});
+  }
+  {
+    std::string samples;
+    size_t n = 0;
+    for (const obs::MetricsSampler::Row& r : sampler_->History()) {
+      samples += std::to_string(r.sample_ts_us) + " " + r.name + " " + r.kind +
+                 " value=" + std::to_string(r.value) +
+                 " delta=" + std::to_string(r.delta) +
+                 " rate_per_s=" + std::to_string(r.rate_per_s) + "\n";
+      ++n;
+    }
+    write_file("samples.diag", {{"SAMPLES", n, std::move(samples)}});
+  }
+  {
+    std::string profs;
+    size_t n = 0;
+    for (const obs::QueryProfileSnapshot& s : profiles_.Snapshot()) {
+      profs += s.digest_hex + " captures=" + std::to_string(s.captures) +
+               " wall_us=" + std::to_string(s.last.wall_us) +
+               " queue_wait_us=" + std::to_string(s.last.queue_wait_us) +
+               " peak_bytes=" + std::to_string(s.last.peak_bytes) +
+               " rows_out=" + std::to_string(s.last.rows_out) + "\n";
+      ++n;
+    }
+    write_file("profiles.diag", {{"PROFILES", n, std::move(profs)}});
+  }
+  {
+    std::string fb;
+    size_t n = 0;
+    for (const obs::PlanFeedbackSnapshot& s : plan_feedback_.Snapshot()) {
+      for (const obs::OpFeedback& w : s.worst) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s %s/%s est=%lld actual=%lld loops=%lld q=%.2f\n",
+                      s.digest_hex.c_str(), w.output.c_str(), w.op.c_str(),
+                      static_cast<long long>(w.est_rows + 0.5),
+                      static_cast<long long>(w.actual_rows),
+                      static_cast<long long>(w.loops), w.q_error);
+        fb += buf;
+        ++n;
+      }
+    }
+    write_file("plan_feedback.diag", {{"PLAN_FEEDBACK", n, std::move(fb)}});
+  }
+  {
+    // Raw values of every knob plus the resolutions the engine runs with —
+    // the first question of any incident review is "what was it configured
+    // to do?".
+    static const char* const kKnobs[] = {
+        "XNFDB_LOG_LEVEL", "XNFDB_LOG", "XNFDB_TRACE", "XNFDB_EVENTS",
+        "XNFDB_EVENT_RING", "XNFDB_CRASH_DIR", "XNFDB_QUERY_PROFILES",
+        "XNFDB_PLAN_FEEDBACK", "XNFDB_QERROR_ALERT", "XNFDB_METRICS_SAMPLE_MS",
+        "XNFDB_METRICS_RING", "XNFDB_WATCHDOG_STALL_MS",
+        "XNFDB_WATCHDOG_POLL_MS", "XNFDB_WATCHDOG_CANCEL",
+        "XNFDB_MAX_CONCURRENT_QUERIES", "XNFDB_QUERY_TIMEOUT_MS",
+        "XNFDB_MAX_RESULT_ROWS", "XNFDB_MEM_BUDGET_BYTES"};
+    std::string envs;
+    size_t n = 0;
+    for (const char* knob : kKnobs) {
+      const char* raw = std::getenv(knob);
+      envs += std::string(knob) + "=" + (raw != nullptr ? raw : "<unset>") +
+              "\n";
+      ++n;
+    }
+    std::string resolved;
+    resolved += "events_enabled=" +
+                std::to_string(obs::FlightRecorder::Default().enabled()) + "\n";
+    resolved += "event_ring=" +
+                std::to_string(obs::FlightRecorder::Default().capacity()) +
+                "\n";
+    resolved += "crash_dir=" + CrashReportDir() + "\n";
+    resolved +=
+        "capture_profiles=" + std::to_string(capture_profiles_) + "\n";
+    resolved +=
+        "capture_feedback=" + std::to_string(capture_feedback_) + "\n";
+    resolved += "qerror_alert=" + std::to_string(qerror_alert_) + "\n";
+    write_file("env.diag", {{"ENV", n, std::move(envs)},
+                            {"RESOLVED", 6, std::move(resolved)}});
+  }
+  {
+    std::string lines;
+    for (const std::string& line : manifest) lines += line + "\n";
+    write_file("MANIFEST.diag", {{"MANIFEST", manifest.size(), lines}});
+  }
+  return first_error;
 }
 
 Result<QueryResult> Database::Query(const std::string& text,

@@ -19,6 +19,8 @@
 #include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/plan_feedback.h"
 #include "obs/query_profile.h"
@@ -147,6 +149,29 @@ class Database {
   obs::MetricsSampler& sampler() { return *sampler_; }
   const obs::MetricsSampler& sampler() const { return *sampler_; }
 
+  // The flight recorder behind SYS$EVENTS (the process-wide instance;
+  // XNFDB_EVENTS=0 disables recording, ring size XNFDB_EVENT_RING).
+  obs::FlightRecorder& events() { return obs::FlightRecorder::Default(); }
+
+  // The health/alert engine behind SYS$HEALTH and SYS$ALERTS. Built-in
+  // rules are evaluated on every sampler tick (background or SampleNow);
+  // each OK<->FIRING transition emits one warn line on the "health"
+  // channel and one flight-recorder event.
+  obs::HealthEngine& health() { return health_; }
+  const obs::HealthEngine& health() const { return health_; }
+  // {"status":"ok"|"degraded",...} — the machine-readable health payload.
+  std::string HealthReport() const { return health_.ReportJson(); }
+
+  // Writes an on-demand diagnostic bundle into `dir` (created if needed):
+  // the crash-style report plus metrics, flight-recorder events, health
+  // state, live queries, sampler history, query profiles, plan feedback and
+  // resolved env knobs — each as a checksummed XNFDIAG sectioned file,
+  // written atomically. A failed file is skipped (and listed as failed in
+  // MANIFEST.diag) while the rest of the bundle is still written; the first
+  // failure is returned. Shell `.diag`; the same content a crash report
+  // condenses.
+  Status WriteDiagnosticBundle(const std::string& dir) const;
+
   // The stuck-query watchdog. Its background thread starts when
   // XNFDB_WATCHDOG_STALL_MS > 0 (poll cadence XNFDB_WATCHDOG_POLL_MS;
   // XNFDB_WATCHDOG_CANCEL=1 turns reports into cooperative kills).
@@ -242,9 +267,17 @@ class Database {
   obs::Tracer tracer_{obs::Tracer::FromEnv{}};
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Default();
   obs::Counter* server_calls_counter_ = metrics_->GetCounter("server.calls");
+  // Executions whose worst q-error reached XNFDB_QERROR_ALERT (the series
+  // behind the qerror_blowups health rule).
+  int64_t qerror_alert_ = 100;
+  obs::Counter* qerror_blowups_ =
+      metrics_->GetCounter("plan.qerror_blowups");
   Governor governor_{GovernorOptions::FromEnv(), metrics_};
-  // Declared after governor_/metrics_: both background threads observe them
-  // and must be destroyed (joined) first.
+  // Declared before sampler_: the sampler's on-sample callback evaluates
+  // health rules, so the engine must outlive the sampler thread's join.
+  obs::HealthEngine health_;
+  // Declared after governor_/metrics_/health_: both background threads
+  // observe them and must be destroyed (joined) first.
   std::unique_ptr<obs::MetricsSampler> sampler_;
   std::unique_ptr<Watchdog> watchdog_;
 };

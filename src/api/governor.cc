@@ -3,7 +3,9 @@
 #include <chrono>
 #include <limits>
 
+#include "common/crash.h"
 #include "common/str_util.h"
+#include "obs/flight_recorder.h"
 
 namespace xnfdb {
 
@@ -60,6 +62,12 @@ Result<int64_t> Governor::Admit(const std::string& text,
       if (queued_ >= options_.max_queue) {
         entries_.erase(id);
         rejected_->Increment();
+        // Under sustained overload running/queued sit at their caps, so
+        // these events are byte-identical and coalesce in the recorder.
+        obs::FlightRecorder::Default().Record(
+            "governor", "warn", "admission rejected",
+            "running=" + std::to_string(running_) +
+                " queued=" + std::to_string(queued_));
         return Status::ResourceExhausted(
             "admission rejected: " + std::to_string(running_) +
             " queries running (cap " + std::to_string(options_.max_concurrent) +
@@ -108,6 +116,12 @@ Result<int64_t> Governor::Admit(const std::string& text,
   const int64_t wait_us = QueryContext::NowUs() - t0;
   queue_wait_us_->Observe(wait_us);
   ctx->set_queue_wait_us(wait_us);  // profile capture reads it at query end
+  if (was_queued) {
+    obs::FlightRecorder::Default().Record("governor", "info",
+                                          "admitted after queue wait",
+                                          "id=" + std::to_string(id));
+  }
+  RefreshCrashContextLocked();
   return id;
 }
 
@@ -121,6 +135,7 @@ void Governor::Release(int64_t id, const Status& status) {
       running_gauge_->Set(running_);
     }
     entries_.erase(it);
+    RefreshCrashContextLocked();
   }
   switch (status.code()) {
     case StatusCode::kOk:
@@ -154,7 +169,30 @@ Status Governor::Cancel(int64_t id) {
   }
   ctx->Cancel();
   cv_.notify_all();  // a queued victim observes the flag and unwinds
+  obs::FlightRecorder::Default().Record("governor", "warn", "query killed",
+                                        "id=" + std::to_string(id));
   return Status::Ok();
+}
+
+std::string Governor::FormatLiveLocked() const {
+  std::string out;
+  for (const auto& [id, entry] : entries_) {
+    out += "id=" + std::to_string(id);
+    out += entry.running ? " state=running" : " state=queued";
+    if (entry.ctx != nullptr) {
+      out += " elapsed_us=" + std::to_string(entry.ctx->elapsed_us());
+      out += " rows_out=" + std::to_string(entry.ctx->rows_produced());
+      out += " bytes_reserved=" + std::to_string(entry.ctx->bytes_reserved());
+      out += " ticks=" + std::to_string(entry.ctx->progress_ticks());
+    }
+    out += " text=" + entry.text + "\n";
+  }
+  return out;
+}
+
+void Governor::RefreshCrashContextLocked() const {
+  if (!CrashHandlerInstalled()) return;
+  SetCrashContextQueries(FormatLiveLocked());
 }
 
 std::vector<Governor::QueryInfo> Governor::Snapshot() const {

@@ -114,6 +114,13 @@ class Governor {
     bool running = false;
   };
 
+  // Renders entries_ as crash-report lines; requires mu_ to be held (the
+  // admission/release paths refresh the crash context while already inside
+  // the lock — calling Snapshot() there would self-deadlock).
+  std::string FormatLiveLocked() const;
+  // Refreshes the crash handler's active-queries context from inside mu_.
+  void RefreshCrashContextLocked() const;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   GovernorOptions options_;

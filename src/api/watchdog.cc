@@ -13,7 +13,7 @@ WatchdogOptions WatchdogOptions::FromEnv() {
   WatchdogOptions o;
   o.stall_ms = ParseEnvInt("XNFDB_WATCHDOG_STALL_MS", 0, int64_t{1} << 40, 0);
   o.poll_ms = ParseEnvInt("XNFDB_WATCHDOG_POLL_MS", 1, int64_t{1} << 40, 1000);
-  o.auto_cancel = ParseEnvInt("XNFDB_WATCHDOG_CANCEL", 0, 1, 0) != 0;
+  o.auto_cancel = ParseEnvBool("XNFDB_WATCHDOG_CANCEL", false);
   return o;
 }
 

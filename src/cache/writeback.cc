@@ -8,6 +8,7 @@
 
 #include "common/crc32.h"
 #include "common/str_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace xnfdb {
@@ -527,9 +528,17 @@ Status RetryTransient(const WriteBackOptions& options,
     }
     backoff_ms *= 2;
     retries->Increment();
+    obs::FlightRecorder::Default().Record("writeback", "warn",
+                                          "transient failure, retrying",
+                                          status.message());
     status = op();
   }
-  if (!status.ok()) failures->Increment();
+  if (!status.ok()) {
+    failures->Increment();
+    obs::FlightRecorder::Default().Record("writeback", "error",
+                                          "operation failed after retries",
+                                          status.message());
+  }
   return status;
 }
 

@@ -1,5 +1,6 @@
 #include "common/env.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -8,6 +9,7 @@
 #include <cstring>
 #include <istream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace xnfdb {
@@ -15,7 +17,11 @@ namespace xnfdb {
 namespace {
 
 Status ErrnoError(const std::string& context) {
-  return Status::IoError(context + ": " + std::strerror(errno));
+  std::string message = context + ": " + std::strerror(errno);
+  // Every real I/O error is a forensic event: the choke point all PosixEnv
+  // failure paths funnel through feeds the flight recorder.
+  obs::FlightRecorder::Default().Record("env", "error", "io error", message);
+  return Status::IoError(message);
 }
 
 // Registry handles are stable; look each name up once per process.
@@ -116,6 +122,13 @@ class PosixEnv : public Env {
       return ErrnoError("remove " + path);
     }
     removes->Increment();
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir " + path);
+    }
     return Status::Ok();
   }
 

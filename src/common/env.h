@@ -47,6 +47,10 @@ class Env {
   virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) = 0;
 
+  // Creates directory `path` (one level, not recursive); Ok when it
+  // already exists. Diagnostic bundles are written into such a directory.
+  virtual Status CreateDir(const std::string& path) = 0;
+
   // Reads the entire file into `*out` (replacing its contents).
   virtual Status ReadFileToString(const std::string& path,
                                   std::string* out) = 0;

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/env.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace xnfdb {
@@ -75,6 +76,9 @@ class FaultInjectionEnv : public Env {
   // --- Env ----------------------------------------------------------------
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
   Status ReadFileToString(const std::string& path, std::string* out) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
@@ -89,6 +93,9 @@ class FaultInjectionEnv : public Env {
   void CountInjectedError() {
     ++counters_.injected_errors;
     injected_errors_counter_->Increment();
+    // Injected faults are forensic events like the real errors they model,
+    // so fault-injection tests exercise the same recorder path.
+    obs::FlightRecorder::Default().Record("env", "warn", "injected fault");
   }
 
   Env* base_;

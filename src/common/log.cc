@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/flight_recorder.h"
+
 namespace xnfdb {
 
 namespace {
@@ -84,11 +86,33 @@ Logger& Logger::Default() {
 
 void Logger::SetSink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
+  FlushCoalescedLocked();  // the summary belongs to the old destination
   sink_ = std::move(sink);
+}
+
+void Logger::FlushCoalesced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushCoalescedLocked();
+  last_warn_key_.clear();
 }
 
 void Logger::Log(LogLevel level, const std::string& channel,
                  const std::string& msg, std::vector<LogField> fields) {
+  const bool is_warn = level >= LogLevel::kWarn && level < LogLevel::kOff;
+  if (is_warn) {
+    // Warn+ lines feed the flight recorder even when the logger itself is
+    // silenced: forensics must survive XNFDB_LOG_LEVEL=off. Only string
+    // fields go into the detail — numeric fields (elapsed times, counters)
+    // vary per repeat and would defeat the recorder's coalescing.
+    std::string detail;
+    for (const LogField& f : fields) {
+      if (f.is_num) continue;
+      if (!detail.empty()) detail += ' ';
+      detail += f.key + "=" + f.str;
+    }
+    obs::FlightRecorder::Default().Record(channel, LogLevelName(level), msg,
+                                          detail);
+  }
   if (!Enabled(level)) return;
   std::string line;
   line.reserve(128);
@@ -106,11 +130,49 @@ void Logger::Log(LogLevel level, const std::string& channel,
     }
   }
   line += "}";
-  Emit(line);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_warn) {
+    std::string key;
+    key.reserve(64);
+    key += LogLevelName(level);
+    key += '|';
+    key += channel;
+    key += '|';
+    key += msg;
+    for (const LogField& f : fields) {
+      if (f.is_num) continue;
+      key += '|';
+      key += f.key;
+      key += '=';
+      key += f.str;
+    }
+    if (key == last_warn_key_) {
+      ++suppressed_;
+      pending_line_ = std::move(line);  // summary carries the newest numbers
+      return;
+    }
+    FlushCoalescedLocked();
+    last_warn_key_ = std::move(key);
+  } else {
+    // A different (sub-warn) line ends the run: emit the summary first so
+    // the stream stays ordered, then forget the run.
+    FlushCoalescedLocked();
+    last_warn_key_.clear();
+  }
+  EmitLocked(line);
 }
 
-void Logger::Emit(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Logger::FlushCoalescedLocked() {
+  if (suppressed_ == 0) return;
+  std::string line = std::move(pending_line_);
+  line.insert(line.size() - 1, ",\"repeated\":" + std::to_string(suppressed_));
+  suppressed_ = 0;
+  pending_line_.clear();
+  EmitLocked(line);
+}
+
+void Logger::EmitLocked(const std::string& line) {
   if (sink_) {
     sink_(line);
     return;

@@ -86,17 +86,29 @@ class Logger {
            std::vector<LogField> fields = {});
 
   // Redirects output to `sink` (tests). Pass nullptr to restore the
-  // default destination (XNFDB_LOG path or stderr).
+  // default destination (XNFDB_LOG path or stderr). Any pending coalesced
+  // warn summary is flushed to the previous destination first.
   using Sink = std::function<void(const std::string& line)>;
   void SetSink(Sink sink);
 
+  // Emits the pending `repeated=N` summary line, if any. Identical
+  // consecutive warn+ lines (same channel, msg and string-field values)
+  // are suppressed after the first; the run ends — and the summary is
+  // emitted — when a different line arrives or this is called.
+  void FlushCoalesced();
+
  private:
-  void Emit(const std::string& line);
+  // Both require mu_ to be held.
+  void EmitLocked(const std::string& line);
+  void FlushCoalescedLocked();
 
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
-  std::mutex mu_;          // serializes Emit and sink swaps
+  std::mutex mu_;          // serializes emits, coalescing state, sink swaps
   Sink sink_;              // empty => default destination
   std::string file_path_;  // XNFDB_LOG; empty => stderr
+  std::string last_warn_key_;  // identity of the warn run being coalesced
+  std::string pending_line_;   // newest suppressed line of the run
+  int64_t suppressed_ = 0;     // lines suppressed in the current run
 };
 
 }  // namespace xnfdb

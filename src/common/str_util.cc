@@ -115,4 +115,21 @@ int64_t ParseEnvInt(const char* name, int64_t min_value, int64_t max_value,
   return v;
 }
 
+bool ParseEnvBool(const char* name, bool default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  std::string word = Trim(raw);
+  for (char& c : word) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (word == "1" || word == "true" || word == "yes" || word == "on") {
+    return true;
+  }
+  if (word == "0" || word == "false" || word == "no" || word == "off") {
+    return false;
+  }
+  WarnEnvOnce(name, raw, "unparsable boolean env var ignored",
+              default_value ? 1 : 0);
+  return default_value;
+}
+
 }  // namespace xnfdb

@@ -31,6 +31,14 @@ bool LikeMatch(const std::string& text, const std::string& pattern);
 int64_t ParseEnvInt(const char* name, int64_t min_value, int64_t max_value,
                     int64_t default_value);
 
+// Checked environment-variable boolean for on/off knobs. Accepts
+// 1/true/yes/on and 0/false/no/off (case-insensitive, surrounding
+// whitespace ignored). Unset or empty yields `default_value`; anything
+// else yields `default_value` with the same warn-once behaviour as
+// ParseEnvInt. Path-valued knobs (XNFDB_TRACE, XNFDB_CRASH_DIR) stay
+// string-typed and do not go through here.
+bool ParseEnvBool(const char* name, bool default_value);
+
 }  // namespace xnfdb
 
 #endif  // XNFDB_COMMON_STR_UTIL_H_

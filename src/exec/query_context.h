@@ -29,6 +29,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/flight_recorder.h"
 
 namespace xnfdb {
 
@@ -148,6 +149,13 @@ class QueryContext {
   // Every termination reports how far execution got, so a client knows what
   // was discarded ("never a partial silent result").
   Status TerminationStatus(StatusCode code, std::string detail = "") const {
+    // Detail is the code keyword only: every morsel worker of a cancelled
+    // query lands here, and byte-identical events coalesce into one.
+    obs::FlightRecorder::Default().Record(
+        "governor", "warn", "query terminated",
+        code == StatusCode::kCancelled          ? "reason=cancelled"
+        : code == StatusCode::kDeadlineExceeded ? "reason=deadline"
+                                                : "reason=budget");
     std::string m = detail.empty()
                         ? (code == StatusCode::kCancelled
                                ? std::string("query cancelled")

@@ -56,13 +56,34 @@ void MetricsSampler::Loop() {
     cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
                  [this] { return stop_requested_; });
     if (stop_requested_) break;
-    TakeSampleLocked();
+    std::vector<Row> rows = TakeSampleLocked();
+    lock.unlock();
+    NotifySample(rows);
+    lock.lock();
   }
 }
 
 void MetricsSampler::SampleNow() {
-  std::lock_guard<std::mutex> lock(mu_);
-  TakeSampleLocked();
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows = TakeSampleLocked();
+  }
+  NotifySample(rows);
+}
+
+void MetricsSampler::SetOnSample(OnSample callback) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  on_sample_ = std::move(callback);
+}
+
+void MetricsSampler::NotifySample(const std::vector<Row>& rows) {
+  OnSample callback;
+  {
+    std::lock_guard<std::mutex> lock(callback_mu_);
+    callback = on_sample_;
+  }
+  if (callback) callback(rows);
 }
 
 void MetricsSampler::AppendSeries(Sample* sample, const std::string& name,
@@ -82,7 +103,7 @@ void MetricsSampler::AppendSeries(Sample* sample, const std::string& name,
   sample->rows.push_back(std::move(row));
 }
 
-void MetricsSampler::TakeSampleLocked() {
+std::vector<MetricsSampler::Row> MetricsSampler::TakeSampleLocked() {
   MetricsSnapshot snap = registry_->Snapshot();
   Sample sample;
   sample.ts_us = NowUs();
@@ -104,6 +125,7 @@ void MetricsSampler::TakeSampleLocked() {
     AppendSeries(&sample, name + ".p99", "gauge", h.Quantile(0.99),
                  /*rated=*/false, dt_us);
   }
+  std::vector<Row> rows = sample.rows;  // callback copy, used outside mu_
   ring_.push_back(std::move(sample));
   ++samples_;
   samples_counter_->Increment();
@@ -112,6 +134,7 @@ void MetricsSampler::TakeSampleLocked() {
     ++evictions_;
     evictions_counter_->Increment();
   }
+  return rows;
 }
 
 std::vector<MetricsSampler::Row> MetricsSampler::History() const {

@@ -30,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -79,6 +80,14 @@ class MetricsSampler {
   // Every retained sample's rows, oldest sample first.
   std::vector<Row> History() const;
 
+  // Invoked with a copy of each new sample's rows, after the sampler's
+  // lock is released — the callback may log, record flight events, or feed
+  // the health engine, but must not call back into this sampler. Applies
+  // to background ticks and SampleNow alike. Pass an empty function to
+  // clear.
+  using OnSample = std::function<void(const std::vector<Row>& rows)>;
+  void SetOnSample(OnSample callback);
+
   int64_t samples_taken() const;
   int64_t evictions() const;
   size_t ring_size() const;
@@ -90,11 +99,15 @@ class MetricsSampler {
     std::vector<Row> rows;
   };
 
-  // Takes one sample; caller holds mu_.
-  void TakeSampleLocked();
+  // Takes one sample; caller holds mu_. Returns a copy of the sample's
+  // rows for the on-sample callback (invoked only after mu_ is released).
+  std::vector<Row> TakeSampleLocked();
   void AppendSeries(Sample* sample, const std::string& name,
                     const char* kind, int64_t value, bool rated,
                     int64_t dt_us);
+  // Invokes the on-sample callback (if set) with one sample's rows. Caller
+  // must NOT hold mu_.
+  void NotifySample(const std::vector<Row>& rows);
   void Loop();
 
   int64_t NowUs() const {
@@ -122,6 +135,11 @@ class MetricsSampler {
   int64_t prev_ts_us_ = -1;
   int64_t samples_ = 0;
   int64_t evictions_ = 0;
+
+  // Guarded by its own mutex, not mu_: the callback fires outside mu_, and
+  // SetOnSample must not race the copy taken there.
+  mutable std::mutex callback_mu_;
+  OnSample on_sample_;
 
   // Self-metrics, registered in the sampled registry (a sample therefore
   // reports the sampler's own activity one sample late — incrementing

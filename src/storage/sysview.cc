@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/plan_feedback.h"
 #include "obs/query_profile.h"
@@ -378,6 +380,119 @@ class PlanHistoryProvider : public VirtualTableProvider {
   const obs::PlanFeedbackStore* feedback_;
 };
 
+// SYS$EVENTS: the flight recorder's retained events, oldest-first.
+class EventsProvider : public VirtualTableProvider {
+ public:
+  explicit EventsProvider(const obs::FlightRecorder* recorder)
+      : name_("SYS$EVENTS"),
+        schema_(MakeSchema({{"SEQ", DataType::kInt},
+                            {"TS_US", DataType::kInt},
+                            {"CATEGORY", DataType::kString},
+                            {"SEVERITY", DataType::kString},
+                            {"MESSAGE", DataType::kString},
+                            {"DETAIL", DataType::kString},
+                            {"REPEATED", DataType::kInt}})),
+        recorder_(recorder) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::FlightRecorder::Event& e : recorder_->Snapshot()) {
+      rows.push_back({Value(e.seq), Value(e.ts_us), Value(e.category),
+                      Value(e.severity), Value(e.message), Value(e.detail),
+                      Value(e.repeated)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 256.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::FlightRecorder* recorder_;
+};
+
+// SYS$HEALTH: one row per health rule with its live OK/FIRING state.
+class HealthProvider : public VirtualTableProvider {
+ public:
+  explicit HealthProvider(const obs::HealthEngine* health)
+      : name_("SYS$HEALTH"),
+        schema_(MakeSchema({{"RULE", DataType::kString},
+                            {"SERIES", DataType::kString},
+                            {"FIELD", DataType::kString},
+                            {"CMP", DataType::kString},
+                            {"BOUND", DataType::kDouble},
+                            {"STATE", DataType::kString},
+                            {"LAST_VALUE", DataType::kDouble},
+                            {"SINCE_US", DataType::kInt},
+                            {"BREACHES", DataType::kInt},
+                            {"TRANSITIONS", DataType::kInt},
+                            {"DESCRIPTION", DataType::kString}})),
+        health_(health) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::RuleState& r : health_->Snapshot()) {
+      rows.push_back({Value(r.rule.name), Value(r.rule.series),
+                      Value(std::string(obs::HealthFieldName(r.rule.field))),
+                      Value(std::string(obs::HealthCmpName(r.rule.cmp))),
+                      Value(r.rule.bound), Value(r.state), Value(r.last_value),
+                      Value(r.since_us), Value(r.breaches),
+                      Value(r.transitions), Value(r.rule.description)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 8.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::HealthEngine* health_;
+};
+
+// SYS$ALERTS: recorded OK<->FIRING transitions, oldest-first.
+class AlertsProvider : public VirtualTableProvider {
+ public:
+  explicit AlertsProvider(const obs::HealthEngine* health)
+      : name_("SYS$ALERTS"),
+        schema_(MakeSchema({{"SEQ", DataType::kInt},
+                            {"TS_US", DataType::kInt},
+                            {"RULE", DataType::kString},
+                            {"SERIES", DataType::kString},
+                            {"FROM_STATE", DataType::kString},
+                            {"TO_STATE", DataType::kString},
+                            {"VALUE", DataType::kDouble},
+                            {"BOUND", DataType::kDouble}})),
+        health_(health) {}
+
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+
+  Result<std::vector<Tuple>> Generate() const override {
+    std::vector<Tuple> rows;
+    for (const obs::AlertTransition& a : health_->Alerts()) {
+      rows.push_back({Value(a.seq), Value(a.ts_us), Value(a.rule),
+                      Value(a.series), Value(a.from), Value(a.to),
+                      Value(a.value), Value(a.bound)});
+    }
+    return rows;
+  }
+
+  double EstimatedRows() const override { return 16.0; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  const obs::HealthEngine* health_;
+};
+
 // SYS$CACHE: the CO cache / write-back slice of the metric namespace.
 class CacheProvider : public VirtualTableProvider {
  public:
@@ -495,6 +610,21 @@ std::unique_ptr<VirtualTableProvider> MakeMetricsHistoryProvider(
 std::unique_ptr<VirtualTableProvider> MakeQueryProfilesProvider(
     const obs::QueryProfileStore* profiles) {
   return std::make_unique<QueryProfilesProvider>(profiles);
+}
+
+std::unique_ptr<VirtualTableProvider> MakeEventsProvider(
+    const obs::FlightRecorder* recorder) {
+  return std::make_unique<EventsProvider>(recorder);
+}
+
+std::unique_ptr<VirtualTableProvider> MakeHealthProvider(
+    const obs::HealthEngine* health) {
+  return std::make_unique<HealthProvider>(health);
+}
+
+std::unique_ptr<VirtualTableProvider> MakeAlertsProvider(
+    const obs::HealthEngine* health) {
+  return std::make_unique<AlertsProvider>(health);
 }
 
 }  // namespace xnfdb

@@ -44,6 +44,13 @@
 //                  LAST_SEEN_US, EXECUTIONS, MEAN_EXECUTE_US, CURRENT)
 //       plan-change detection: every physical plan shape a statement has
 //       executed with; CURRENT = 1 marks the most recent plan
+//   SYS$EVENTS(SEQ, TS_US, CATEGORY, SEVERITY, MESSAGE, DETAIL, REPEATED)
+//       the flight recorder's event ring, oldest-first (api-registered)
+//   SYS$HEALTH(RULE, SERIES, FIELD, CMP, BOUND, STATE, LAST_VALUE,
+//                  SINCE_US, BREACHES, TRANSITIONS, DESCRIPTION)
+//       one row per health rule with its current OK/FIRING state
+//   SYS$ALERTS(SEQ, TS_US, RULE, SERIES, FROM_STATE, TO_STATE, VALUE, BOUND)
+//       the health engine's alert-transition ring, oldest-first
 //
 // When a QueryProfileStore is supplied, SYS$STATEMENTS additionally carries
 // SCAN_SELF_US / JOIN_SELF_US / FILTER_SELF_US / OTHER_SELF_US — cumulative
@@ -65,6 +72,8 @@ namespace xnfdb {
 class Catalog;
 
 namespace obs {
+class FlightRecorder;
+class HealthEngine;
 class MetricsRegistry;
 class MetricsSampler;
 class PlanFeedbackStore;
@@ -109,6 +118,20 @@ std::unique_ptr<VirtualTableProvider> MakeMetricsHistoryProvider(
 // (WORKER is NULL) and one row per morsel worker (OP = 'morsel_worker').
 std::unique_ptr<VirtualTableProvider> MakeQueryProfilesProvider(
     const obs::QueryProfileStore* profiles);
+
+// SYS$EVENTS over one flight recorder's ring, oldest-first. Registered by
+// the Database (the recorder is process-wide, but its SQL surface is
+// per-database like SYS$QUERIES).
+std::unique_ptr<VirtualTableProvider> MakeEventsProvider(
+    const obs::FlightRecorder* recorder);
+
+// SYS$HEALTH: one row per health rule with its live state.
+std::unique_ptr<VirtualTableProvider> MakeHealthProvider(
+    const obs::HealthEngine* health);
+
+// SYS$ALERTS: the health engine's recorded OK<->FIRING transitions.
+std::unique_ptr<VirtualTableProvider> MakeAlertsProvider(
+    const obs::HealthEngine* health);
 
 }  // namespace xnfdb
 

@@ -218,5 +218,35 @@ TEST(ParseEnvIntTest, MalformedValuesYieldDefault) {
   unsetenv("XNFDB_TEST_KNOB");
 }
 
+TEST(ParseEnvBoolTest, UnsetAndEmptyYieldDefault) {
+  unsetenv("XNFDB_TEST_FLAG");
+  EXPECT_TRUE(ParseEnvBool("XNFDB_TEST_FLAG", true));
+  EXPECT_FALSE(ParseEnvBool("XNFDB_TEST_FLAG", false));
+  setenv("XNFDB_TEST_FLAG", "", 1);
+  EXPECT_TRUE(ParseEnvBool("XNFDB_TEST_FLAG", true));
+  unsetenv("XNFDB_TEST_FLAG");
+}
+
+TEST(ParseEnvBoolTest, RecognizedSpellings) {
+  for (const char* yes : {"1", "true", "TRUE", "Yes", "on", " ON "}) {
+    setenv("XNFDB_TEST_FLAG", yes, 1);
+    EXPECT_TRUE(ParseEnvBool("XNFDB_TEST_FLAG", false)) << "value: " << yes;
+  }
+  for (const char* no : {"0", "false", "FALSE", "No", "off", " off "}) {
+    setenv("XNFDB_TEST_FLAG", no, 1);
+    EXPECT_FALSE(ParseEnvBool("XNFDB_TEST_FLAG", true)) << "value: " << no;
+  }
+  unsetenv("XNFDB_TEST_FLAG");
+}
+
+TEST(ParseEnvBoolTest, UnparsableValuesYieldDefault) {
+  for (const char* bad : {"2", "maybe", "enable", "tru"}) {
+    setenv("XNFDB_TEST_FLAG", bad, 1);
+    EXPECT_TRUE(ParseEnvBool("XNFDB_TEST_FLAG", true)) << "value: " << bad;
+    EXPECT_FALSE(ParseEnvBool("XNFDB_TEST_FLAG", false)) << "value: " << bad;
+  }
+  unsetenv("XNFDB_TEST_FLAG");
+}
+
 }  // namespace
 }  // namespace xnfdb

@@ -1,0 +1,303 @@
+// Tests of the health/alert engine (obs/health.h): streak thresholds,
+// absence rules, the alert-transition ring — and the end-to-end acceptance
+// path: a synthetic writeback-failure burst observed through a Database's
+// sampler flips the built-in alert OK -> FIRING -> OK with exactly one
+// structured "health" log line (and one flight-recorder event) per
+// transition, all visible through SYS$HEALTH / SYS$ALERTS / SYS$EVENTS.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/log.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace xnfdb {
+namespace {
+
+using obs::AlertTransition;
+using obs::HealthEngine;
+using obs::HealthRule;
+using obs::MetricsSampler;
+using obs::RuleState;
+
+std::vector<MetricsSampler::Row> Sample(int64_t ts_us, const std::string& name,
+                                        int64_t value, int64_t delta) {
+  MetricsSampler::Row r;
+  r.sample_ts_us = ts_us;
+  r.name = name;
+  r.kind = "counter";
+  r.value = value;
+  r.delta = delta;
+  return {r};
+}
+
+HealthRule DeltaRule(const std::string& name, const std::string& series,
+                     int for_samples = 1, int clear_samples = 1) {
+  HealthRule r;
+  r.name = name;
+  r.series = series;
+  r.field = HealthRule::Field::kDelta;
+  r.cmp = HealthRule::Cmp::kGt;
+  r.bound = 0;
+  r.for_samples = for_samples;
+  r.clear_samples = clear_samples;
+  return r;
+}
+
+TEST(HealthEngineTest, SingleSampleBreachFiresAndClears) {
+  HealthEngine health;
+  health.AddRule(DeltaRule("failures", "x.failures"));
+  EXPECT_TRUE(health.healthy());
+
+  health.OnSample(Sample(100, "x.failures", 1, 1));
+  EXPECT_FALSE(health.healthy());
+  std::vector<RuleState> snap = health.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].state, "FIRING");
+  EXPECT_EQ(snap[0].since_us, 100);
+  EXPECT_EQ(snap[0].last_value, 1.0);
+  EXPECT_EQ(snap[0].breaches, 1);
+
+  health.OnSample(Sample(200, "x.failures", 1, 0));
+  EXPECT_TRUE(health.healthy());
+  snap = health.Snapshot();
+  EXPECT_EQ(snap[0].state, "OK");
+  EXPECT_EQ(snap[0].transitions, 2);
+
+  std::vector<AlertTransition> alerts = health.Alerts();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].from, "OK");
+  EXPECT_EQ(alerts[0].to, "FIRING");
+  EXPECT_EQ(alerts[0].seq, 1);
+  EXPECT_EQ(alerts[1].from, "FIRING");
+  EXPECT_EQ(alerts[1].to, "OK");
+  EXPECT_EQ(alerts[1].seq, 2);
+}
+
+TEST(HealthEngineTest, StreakThresholdsDebounceFlapping) {
+  HealthEngine health;
+  health.AddRule(DeltaRule("failures", "x.failures", /*for_samples=*/2,
+                           /*clear_samples=*/3));
+  // One breaching tick is not enough.
+  health.OnSample(Sample(1, "x.failures", 1, 1));
+  EXPECT_TRUE(health.healthy());
+  // A healthy tick resets the breach streak.
+  health.OnSample(Sample(2, "x.failures", 1, 0));
+  health.OnSample(Sample(3, "x.failures", 2, 1));
+  EXPECT_TRUE(health.healthy());
+  // Two consecutive breaches fire.
+  health.OnSample(Sample(4, "x.failures", 3, 1));
+  EXPECT_FALSE(health.healthy());
+  // Two healthy ticks do not clear at clear_samples=3...
+  health.OnSample(Sample(5, "x.failures", 3, 0));
+  health.OnSample(Sample(6, "x.failures", 3, 0));
+  EXPECT_FALSE(health.healthy());
+  // ...and a breach in between restarts the clear streak.
+  health.OnSample(Sample(7, "x.failures", 4, 1));
+  health.OnSample(Sample(8, "x.failures", 4, 0));
+  health.OnSample(Sample(9, "x.failures", 4, 0));
+  EXPECT_FALSE(health.healthy());
+  health.OnSample(Sample(10, "x.failures", 4, 0));
+  EXPECT_TRUE(health.healthy());
+  EXPECT_EQ(health.Alerts().size(), 2u);
+}
+
+TEST(HealthEngineTest, MissingSeriesIsHealthyForThresholdRules) {
+  HealthEngine health;
+  health.AddRule(DeltaRule("failures", "x.failures"));
+  health.OnSample(Sample(1, "x.failures", 1, 1));
+  EXPECT_FALSE(health.healthy());
+  // The series vanishing counts as healthy ticks, so the alert clears.
+  health.OnSample(Sample(2, "unrelated", 0, 0));
+  EXPECT_TRUE(health.healthy());
+}
+
+TEST(HealthEngineTest, AbsenceRuleFiresWhenSeriesVanishes) {
+  HealthEngine health;
+  HealthRule r;
+  r.name = "heartbeat";
+  r.series = "x.heartbeat";
+  r.cmp = HealthRule::Cmp::kAbsent;
+  health.AddRule(std::move(r));
+  health.OnSample(Sample(1, "x.heartbeat", 5, 1));
+  EXPECT_TRUE(health.healthy());
+  health.OnSample(Sample(2, "unrelated", 0, 0));
+  EXPECT_FALSE(health.healthy());
+  health.OnSample(Sample(3, "x.heartbeat", 6, 1));
+  EXPECT_TRUE(health.healthy());
+}
+
+TEST(HealthEngineTest, SinkSeesEveryTransitionExactlyOnce) {
+  HealthEngine health;
+  health.AddRule(DeltaRule("failures", "x.failures"));
+  std::vector<AlertTransition> seen;
+  health.SetAlertSink(
+      [&seen](const AlertTransition& a) { seen.push_back(a); });
+  health.OnSample(Sample(1, "x.failures", 1, 1));  // fires
+  health.OnSample(Sample(2, "x.failures", 2, 1));  // still firing: no call
+  health.OnSample(Sample(3, "x.failures", 2, 0));  // clears
+  health.OnSample(Sample(4, "x.failures", 2, 0));  // still OK: no call
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].to, "FIRING");
+  EXPECT_EQ(seen[0].value, 1.0);
+  EXPECT_EQ(seen[1].to, "OK");
+}
+
+TEST(HealthEngineTest, AlertRingIsBounded) {
+  HealthEngine health(/*alert_capacity=*/4);
+  health.AddRule(DeltaRule("failures", "x.failures"));
+  for (int i = 0; i < 6; ++i) {
+    health.OnSample(Sample(2 * i + 1, "x.failures", i + 1, 1));
+    health.OnSample(Sample(2 * i + 2, "x.failures", i + 1, 0));
+  }
+  std::vector<AlertTransition> alerts = health.Alerts();
+  ASSERT_EQ(alerts.size(), 4u);
+  EXPECT_EQ(alerts.back().seq, 12);
+  EXPECT_EQ(alerts.front().seq, 9);
+}
+
+TEST(HealthEngineTest, ReportJsonCarriesStatusAndRules) {
+  HealthEngine health;
+  for (HealthRule& rule : HealthEngine::BuiltinRules()) {
+    health.AddRule(std::move(rule));
+  }
+  std::string report = health.ReportJson();
+  EXPECT_NE(report.find("\"status\":\"ok\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"writeback_failures\""), std::string::npos);
+  EXPECT_NE(report.find("\"crash_reports\""), std::string::npos);
+
+  health.OnSample(Sample(1, "writeback.failures", 1, 1));
+  report = health.ReportJson();
+  EXPECT_NE(report.find("\"status\":\"degraded\""), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"state\":\"FIRING\""), std::string::npos);
+}
+
+// --- end-to-end through the Database --------------------------------------
+
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() : saved_level_(Logger::Default().level()) {
+    Logger::Default().SetSink(
+        [this](const std::string& line) { lines_.push_back(line); });
+    Logger::Default().FlushCoalesced();
+  }
+  ~ScopedLogCapture() {
+    Logger::Default().SetSink(nullptr);
+    Logger::Default().set_level(saved_level_);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  LogLevel saved_level_;
+  std::vector<std::string> lines_;
+};
+
+// The acceptance scenario: a synthetic burst of write-back failures flips
+// the built-in alert FIRING and back across sampler ticks, with exactly one
+// "health" log line per transition.
+TEST(DatabaseHealthTest, WritebackFailureBurstFlipsTheAlertOnceEachWay) {
+  Database db;
+  // Baseline tick: absorbs whatever the shared counters already hold so
+  // the deltas below are exactly the burst.
+  db.sampler().SampleNow();
+
+  ScopedLogCapture capture;
+  Logger::Default().set_level(LogLevel::kWarn);
+
+  db.metrics().GetCounter("writeback.failures")->Increment();
+  db.metrics().GetCounter("writeback.failures")->Increment();
+  db.sampler().SampleNow();
+  EXPECT_FALSE(db.health().healthy());
+
+  // The condition persisting (no new failures, still FIRING -> clears at
+  // the next tick) must not re-log.
+  db.sampler().SampleNow();
+  EXPECT_TRUE(db.health().healthy());
+
+  std::vector<std::string> health_lines;
+  for (const std::string& line : capture.lines()) {
+    if (line.find("\"channel\":\"health\"") != std::string::npos) {
+      health_lines.push_back(line);
+    }
+  }
+  ASSERT_EQ(health_lines.size(), 2u) << "one line per transition";
+  EXPECT_NE(health_lines[0].find("alert firing"), std::string::npos)
+      << health_lines[0];
+  EXPECT_NE(health_lines[0].find("writeback_failures"), std::string::npos);
+  EXPECT_NE(health_lines[1].find("alert resolved"), std::string::npos)
+      << health_lines[1];
+
+  // The log feed gave the flight recorder the same two events.
+  int health_events = 0;
+  for (const obs::FlightRecorder::Event& e : db.events().Snapshot()) {
+    if (e.category == "health") health_events += static_cast<int>(e.repeated);
+  }
+  EXPECT_EQ(health_events, 2);
+
+  // Both transitions are on the alert ledger.
+  std::vector<AlertTransition> alerts = db.health().Alerts();
+  ASSERT_GE(alerts.size(), 2u);
+  const AlertTransition& fired = alerts[alerts.size() - 2];
+  const AlertTransition& cleared = alerts[alerts.size() - 1];
+  EXPECT_EQ(fired.rule, "writeback_failures");
+  EXPECT_EQ(fired.to, "FIRING");
+  EXPECT_EQ(fired.value, 2.0);
+  EXPECT_EQ(cleared.to, "OK");
+}
+
+TEST(DatabaseHealthTest, HealthViewsAreQueryableThroughSql) {
+  Database db;
+  db.sampler().SampleNow();
+  db.metrics().GetCounter("writeback.failures")->Increment();
+  db.sampler().SampleNow();
+
+  auto health = db.Query(
+      "SELECT RULE, STATE FROM SYS$HEALTH WHERE RULE = 'writeback_failures'");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  ASSERT_EQ(health.value().rows().size(), 1u);
+
+  auto alerts = db.Query(
+      "SELECT RULE, FROM_STATE, TO_STATE FROM SYS$ALERTS "
+      "WHERE TO_STATE = 'FIRING'");
+  ASSERT_TRUE(alerts.ok()) << alerts.status().ToString();
+  EXPECT_GE(alerts.value().rows().size(), 1u);
+
+  auto events = db.Query(
+      "SELECT SEQ, CATEGORY, MESSAGE FROM SYS$EVENTS "
+      "WHERE CATEGORY = 'health'");
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_GE(events.value().rows().size(), 1u);
+
+  std::string report = db.HealthReport();
+  EXPECT_NE(report.find("\"status\":"), std::string::npos) << report;
+}
+
+TEST(DatabaseHealthTest, QueryLifecycleLandsInTheFlightRecorder) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (A INTEGER)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO T VALUES (1), (2)").ok());
+  const int64_t before = db.events().last_seq();
+  ASSERT_TRUE(db.Query("SELECT A FROM T").ok());
+  bool saw_start = false;
+  bool saw_end = false;
+  for (const obs::FlightRecorder::Event& e : db.events().Snapshot()) {
+    if (e.seq <= before || e.category != "query") continue;
+    if (e.message == "query start") saw_start = true;
+    if (e.message == "query end") {
+      saw_end = true;
+      EXPECT_NE(e.detail.find("status=ok"), std::string::npos) << e.detail;
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_end);
+}
+
+}  // namespace
+}  // namespace xnfdb
