@@ -15,6 +15,8 @@
 //   .sample             take one metrics sample into SYS$METRICS_HISTORY
 //   .history [substr]   the sampler's time-series ring (optionally filtered)
 //   .profiles           always-on per-query profiles (SYS$QUERY_PROFILES)
+//   .matviews           server-side materialized CO views (SYS$MATVIEWS):
+//                       name, state, rows, hits, delta/refresh counters
 //   .top [n]            top statement shapes by total wall time, with the
 //                       profiler's per-class self-time split
 //   .watchdog <ms>|off  arm the stuck-query watchdog at <ms> stall time
@@ -189,15 +191,16 @@ int main() {
             "query:         .tables | .explain [rewrite] <q> | .analyze <q> | "
             ".dot <q>\n"
             "observability: .metrics [table] | .sample | .history [substr] | "
-            ".profiles | .rewrites | .feedback | .plans | .top [n] | "
-            ".events [n] | .health | .alerts | .diag <dir>\n"
+            ".profiles | .matviews | .rewrites | .feedback | .plans | "
+            ".top [n] | .events [n] | .health | .alerts | .diag <dir>\n"
             "admin:         .queries | .kill <id> | .slowlog <us>|off | "
             ".watchdog <ms>|off | .save <f> | .open <f> | .quit\n"
-            "Statements end with ';'. System views: sys$metrics, "
+            "Statements end with ';'. MATERIALIZE <view> pins a server-side "
+            "matview (DEMATERIALIZE drops it). System views: sys$metrics, "
             "sys$histograms, sys$statements, sys$cache, sys$tables, "
             "sys$queries, sys$metrics_history, sys$query_profiles, "
-            "sys$rewrites, sys$plan_feedback, sys$plan_history, "
-            "sys$events, sys$health, sys$alerts.\n");
+            "sys$matviews, sys$rewrites, sys$plan_feedback, "
+            "sys$plan_history, sys$events, sys$health, sys$alerts.\n");
       } else if (cmd == ".tables") {
         for (const std::string& name : db.catalog().TableNames()) {
           std::printf("table %s\n", name.c_str());
@@ -291,6 +294,15 @@ int main() {
           std::printf("error: %s\n", result.status().ToString().c_str());
         } else {
           PrintResult(result.value());
+        }
+      } else if (cmd == ".matviews") {
+        auto result = db.Query("SELECT * FROM SYS$MATVIEWS");
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          PrintResult(result.value());
+          std::printf("(MATERIALIZE <view> pins, DEMATERIALIZE drops; "
+                      "XNFDB_MATVIEWS=0 disables)\n");
         }
       } else if (cmd == ".rewrites") {
         auto result = db.Query("SELECT * FROM SYS$REWRITES");
@@ -436,10 +448,14 @@ int main() {
           std::printf("%s", xnfdb::qgm::ToDot(*compiled.value().graph).c_str());
         }
       } else if (cmd == ".save") {
-        Status s = xnfdb::SaveCatalogToFile(db.catalog(), arg);
+        // Through the Database so the matview pin registry rides along
+        // (<file>.matviews sidecar).
+        Status s = db.SaveTo(arg);
         std::printf("%s\n", s.ToString().c_str());
       } else if (cmd == ".open") {
-        Status s = xnfdb::LoadCatalogFromFile(arg, &db.catalog());
+        // Through the Database: clears the matview store (stored answers
+        // belong to the old catalog) and reloads any pin registry.
+        Status s = db.LoadFrom(arg);
         std::printf("%s\n", s.ToString().c_str());
       } else {
         std::printf("unknown meta command %s\n", cmd.c_str());

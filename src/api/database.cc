@@ -164,6 +164,9 @@ Database::Database(Env* env) : env_(env) {
   Status events = catalog_.RegisterVirtualTable(
       MakeEventsProvider(&obs::FlightRecorder::Default()));
   (void)events;
+  Status matviews_view =
+      catalog_.RegisterVirtualTable(MakeMatViewsProvider(&matviews_));
+  (void)matviews_view;
   for (obs::HealthRule& rule : obs::HealthEngine::BuiltinRules()) {
     health_.AddRule(std::move(rule));
   }
@@ -306,7 +309,7 @@ Status Database::RunTimed(const ast::Statement& stmt, Outcome* outcome) {
   return status;
 }
 
-Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
+Result<QueryResult> Database::ExecuteGoverned(CompiledQuery& compiled,
                                               const ExecOptions& eopts) {
   ExecOptions eo = WithObs(eopts);
   // Capture the compile-side rewrite trace before execution: even a
@@ -354,11 +357,40 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
     return admitted.status();
   }
   const int64_t qid = admitted.value();
+  // Materialized-view plan matching: a fresh materialization of this digest
+  // answers the query from stored rows; otherwise, when the statement's
+  // execution history crosses the capture policy (or a stale/pinned entry
+  // wants a refresh), this execution runs with derivation-count collection
+  // and its result is stored below. Recursive COs never participate.
+  MatViewStore::ServeHandle mv;
+  bool serve = false;
+  bool capture = false;
+  if (!compiled.needs_fixpoint && compiled.graph != nullptr) {
+    serve = matviews_.TryServe(compiled.digest, &mv);
+    if (!serve) {
+      int64_t prior_calls = 0, prior_avg_us = 0;
+      statements_.Stats(compiled.digest, &prior_calls, &prior_avg_us);
+      capture =
+          matviews_.WantCapture(compiled.digest, prior_calls, prior_avg_us);
+      if (capture) eo.collect_dedup_counts = true;
+    }
+  }
   const int64_t exec_t0 = NowUs();
   Result<QueryResult> result =
-      compiled.needs_fixpoint
+      serve ? ServeMatView(compiled, mv, eo)
+      : compiled.needs_fixpoint
           ? ExecuteXnfFixpoint(catalog_, *compiled.graph, eo)
           : ExecuteGraph(catalog_, *compiled.graph, eo);
+  if (result.ok() && capture) {
+    // The graph moves into the store for delta re-planning; no later code
+    // path reads it (EXPLAIN recompiles). A cancelled refresh never gets
+    // here, so a mid-refresh kill simply leaves the entry unmaterialized.
+    Status stored = matviews_.Store(
+        compiled.digest, compiled.normalized_text, catalog_,
+        std::shared_ptr<qgm::QueryGraph>(std::move(compiled.graph)),
+        result.value());
+    (void)stored;  // ineligible shapes are counted in matview.rejects
+  }
   governor_.Release(qid, result.ok() ? Status::Ok() : result.status());
   recorder.Record(
       "query", result.ok() ? "info" : "warn", "query end",
@@ -408,6 +440,131 @@ Result<QueryResult> Database::ExecuteGoverned(const CompiledQuery& compiled,
   return result;
 }
 
+Result<QueryResult> Database::ServeMatView(
+    const CompiledQuery& compiled, const MatViewStore::ServeHandle& handle,
+    const ExecOptions& eo) {
+  (void)compiled;
+  const MatViewData& data = *handle.data;
+  QueryContext* ctx = eo.context.get();
+  QueryResult r;
+  r.outputs.reserve(data.outputs.size());
+  for (const MatViewOutputData& od : data.outputs) {
+    r.outputs.push_back(od.desc);
+  }
+  std::vector<std::string> shapes;
+  int64_t rows_emitted = 0;
+  // Component streams first, then connections — the executor's pass order,
+  // so consumers that resolve connection tids against previously seen
+  // component rows keep working.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t oi = 0; oi < data.outputs.size(); ++oi) {
+      const MatViewOutputData& od = data.outputs[oi];
+      if (od.desc.is_connection != (pass == 1)) continue;
+      if (!od.desc.is_connection) {
+        // Rows are pulled through a real MatViewScanOp so stats, profiling
+        // and per-row cancellation behave exactly like an execution, and
+        // the plan shape carries the matview provenance SYS$PLAN_HISTORY
+        // records the flip under.
+        auto rows_sp =
+            std::shared_ptr<const std::vector<Tuple>>(handle.data, &od.rows);
+        MatViewScanOp op(handle.name, rows_sp, &r.stats);
+        if (ctx != nullptr) op.AttachContext(ctx);
+        if (eo.collect_profile) op.EnableProfile();
+        XNFDB_RETURN_IF_ERROR(op.Open());
+        Tuple row;
+        size_t i = 0;
+        while (true) {
+          XNFDB_ASSIGN_OR_RETURN(bool more, op.Next(&row));
+          if (!more) break;
+          StreamItem item;
+          item.kind = StreamItem::Kind::kRow;
+          item.output = static_cast<int>(oi);
+          item.tid = od.tids[i++];
+          item.values = std::move(row);
+          row = Tuple();
+          r.stream.push_back(std::move(item));
+          if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
+          ++rows_emitted;
+        }
+        if (eo.analyze) {
+          std::string plan = "output " + od.desc.name + ":\n";
+          op.Explain(1, &plan);
+          r.plan_texts.push_back(std::move(plan));
+        }
+        if (eo.collect_profile) {
+          obs::OpProfile prof;
+          prof.op = op.Kind();
+          prof.loops = 1;
+          prof.rows = static_cast<int64_t>(od.rows.size());
+          r.profile.ops.push_back(std::move(prof));
+        }
+        shapes.push_back(od.desc.name + "=" + PlanShapeText(&op));
+        op.Close();
+      } else {
+        for (const std::vector<TupleId>& conn : od.conns) {
+          if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->Check());
+          StreamItem item;
+          item.kind = StreamItem::Kind::kConnection;
+          item.output = static_cast<int>(oi);
+          item.tids = conn;
+          r.stream.push_back(std::move(item));
+          if (ctx != nullptr) XNFDB_RETURN_IF_ERROR(ctx->ChargeOutputRows(1));
+          ++rows_emitted;
+        }
+        shapes.push_back(od.desc.name + "=matview_scan:" + handle.name);
+      }
+    }
+  }
+  r.stats.rows_output = rows_emitted;
+  if (eo.collect_feedback) {
+    std::string shape;
+    for (const std::string& s : shapes) {
+      if (!shape.empty()) shape += ";";
+      shape += s;
+    }
+    r.plan_shape = std::move(shape);
+    r.plan_hash = PlanShapeHash(r.plan_shape);
+    // Served rows are exact by construction: est == actual, q-error 1.
+    for (size_t oi = 0; oi < data.outputs.size(); ++oi) {
+      const MatViewOutputData& od = data.outputs[oi];
+      obs::OpFeedback f;
+      f.output = od.desc.name;
+      f.op = "matview_scan";
+      f.actual_rows = static_cast<int64_t>(
+          od.desc.is_connection ? od.conns.size() : od.rows.size());
+      f.est_rows = static_cast<double>(f.actual_rows);
+      f.loops = 1;
+      f.q_error = 1.0;
+      r.feedback.push_back(std::move(f));
+    }
+  }
+  return r;
+}
+
+Status Database::RunMaterialize(const ast::MaterializeStatement& stmt,
+                                Outcome* outcome) {
+  // Compiling the view by name yields the digest any matching execution
+  // arrives under — the view name, its expanded body, or an equivalent
+  // literal binding all normalize to the same fingerprint.
+  XNFDB_ASSIGN_OR_RETURN(
+      CompiledQuery compiled,
+      CompileQueryString(catalog_, stmt.name, WithObs(CompileOptions())));
+  if (compiled.needs_fixpoint) {
+    return Status::Unsupported(
+        "recursive COs cannot be materialized (no finite answer set to "
+        "store)");
+  }
+  XNFDB_RETURN_IF_ERROR(
+      matviews_.Pin(stmt.name, compiled.digest, compiled.normalized_text));
+  // The stale pinned entry makes WantCapture fire, so this execution's
+  // result is stored. Re-MATERIALIZE of a fresh entry serves — idempotent.
+  XNFDB_ASSIGN_OR_RETURN(QueryResult result,
+                         ExecuteGoverned(compiled, ExecOptions()));
+  outcome->kind = Outcome::Kind::kAffected;
+  outcome->affected = result.stream.size();
+  return Status::Ok();
+}
+
 Result<Database::Outcome> Database::Execute(const std::string& sql) {
   CountServerCall();
   if (transient_failures_ > 0) {
@@ -432,11 +589,28 @@ Result<size_t> Database::ExecuteScript(const std::string& script) {
 }
 
 Status Database::SaveTo(const std::string& path) const {
-  return SaveCatalogToFile(catalog_, path, env_);
+  XNFDB_RETURN_IF_ERROR(SaveCatalogToFile(catalog_, path, env_));
+  // Registry-only sidecar: names, digests, pins and query texts. Stored
+  // data is not persisted — loaded entries refresh on their next execution.
+  const std::string reg = path + ".matviews";
+  if (matviews_.size() == 0) {
+    // No extra I/O (and no stale sidecar) when nothing is materialized.
+    if (env_->FileExists(reg)) return env_->RemoveFile(reg);
+    return Status::Ok();
+  }
+  return matviews_.SaveRegistry(env_, reg);
 }
 
 Status Database::LoadFrom(const std::string& path) {
-  return LoadCatalogFromFile(path, &catalog_, env_);
+  XNFDB_RETURN_IF_ERROR(LoadCatalogFromFile(path, &catalog_, env_));
+  matviews_.Clear();
+  const std::string reg = path + ".matviews";
+  if (env_->FileExists(reg)) {
+    // Best-effort: a corrupt registry loses pins, never data.
+    Status loaded = matviews_.LoadRegistry(env_, reg);
+    (void)loaded;
+  }
+  return Status::Ok();
 }
 
 Status Database::WriteDiagnosticBundle(const std::string& dir) const {
@@ -625,6 +799,30 @@ Result<std::string> Database::ExplainCompiled(const CompiledQuery& compiled,
     out += compiled.graph->ToString();
     return out;
   }
+  // Matview provenance: a fresh materialization of this digest means the
+  // query would not run its join trees at all — show the serve plan.
+  MatViewStore::ServeHandle mv;
+  if (matviews_.Peek(compiled.digest, &mv)) {
+    out += "matview: " + mv.name + " (fresh, " +
+           std::to_string(mv.data->total_rows) + " stored rows)\n";
+    ExecStats mv_stats;
+    for (const MatViewOutputData& od : mv.data->outputs) {
+      out += "output " + od.desc.name +
+             (od.desc.is_connection ? " [connection]" : "") + ":\n";
+      if (od.desc.is_connection) {
+        ExplainLine(1,
+                    "MatViewConnections(matview=" + mv.name + ", " +
+                        std::to_string(od.conns.size()) + " tuples)",
+                    &out);
+      } else {
+        auto rows_sp =
+            std::shared_ptr<const std::vector<Tuple>>(mv.data, &od.rows);
+        MatViewScanOp op(mv.name, rows_sp, &mv_stats);
+        op.Explain(1, &out);
+      }
+    }
+    return out;
+  }
   const qgm::Box* top = compiled.graph->box(compiled.graph->top_box_id());
   ExecStats stats;
   Planner planner(&catalog_, compiled.graph.get(), eopts.plan, &stats);
@@ -778,12 +976,28 @@ Status Database::RunStatement(const ast::Statement& stmt, Outcome* outcome) {
     case Kind::kDelete:
       return RunDelete(static_cast<const ast::DeleteStatement&>(stmt),
                        outcome);
-    case Kind::kDropTable:
-      return catalog_.DropTable(
-          static_cast<const ast::DropStatement&>(stmt).name);
-    case Kind::kDropView:
-      return catalog_.DropView(
-          static_cast<const ast::DropStatement&>(stmt).name);
+    case Kind::kDropTable: {
+      const auto& name = static_cast<const ast::DropStatement&>(stmt).name;
+      matviews_.InvalidateTable(name);
+      return catalog_.DropTable(name);
+    }
+    case Kind::kDropView: {
+      const auto& name = static_cast<const ast::DropStatement&>(stmt).name;
+      matviews_.InvalidateView(name);
+      return catalog_.DropView(name);
+    }
+    case Kind::kMaterialize:
+      return RunMaterialize(static_cast<const ast::MaterializeStatement&>(stmt),
+                            outcome);
+    case Kind::kDematerialize: {
+      const auto& s = static_cast<const ast::MaterializeStatement&>(stmt);
+      if (!matviews_.Dematerialize(s.name)) {
+        return Status::NotFound("no materialization named " + s.name);
+      }
+      outcome->kind = Outcome::Kind::kAffected;
+      outcome->affected = 1;
+      return Status::Ok();
+    }
   }
   return Status::Internal("unknown statement kind");
 }
@@ -810,18 +1024,41 @@ Status Database::RunCreateTable(const ast::CreateTableStatement& stmt) {
 Status Database::RunInsert(const ast::InsertStatement& stmt,
                            Outcome* outcome) {
   XNFDB_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(stmt.table));
+  // Rows are copied for matview delta maintenance only while at least one
+  // materialization exists.
+  const bool track = matviews_.size() > 0;
+  std::vector<Tuple> inserted_rows;
   size_t inserted = 0;
+  Status status = Status::Ok();
   for (const std::vector<ast::ExprPtr>& row_exprs : stmt.rows) {
     Tuple row;
     row.reserve(row_exprs.size());
     for (const ast::ExprPtr& e : row_exprs) {
-      XNFDB_ASSIGN_OR_RETURN(Value v, EvalLiteralExpr(*e));
-      row.push_back(std::move(v));
+      Result<Value> v = EvalLiteralExpr(*e);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      row.push_back(std::move(v).value());
     }
-    XNFDB_ASSIGN_OR_RETURN(Rid rid, table->Insert(std::move(row)));
-    (void)rid;
+    if (!status.ok()) break;
+    if (track) inserted_rows.push_back(row);
+    Result<Rid> rid = table->Insert(std::move(row));
+    if (!rid.ok()) {
+      // The row never landed; its copy must not reach the delta hook.
+      if (track) inserted_rows.pop_back();
+      status = rid.status();
+      break;
+    }
     ++inserted;
   }
+  // The hook runs even on a mid-batch failure: rows already inserted have
+  // changed the base table, and every dependent materialization must see
+  // them (or go stale).
+  if (!inserted_rows.empty()) {
+    matviews_.OnBaseTableDml(catalog_, table->name(), inserted_rows, {});
+  }
+  XNFDB_RETURN_IF_ERROR(status);
   outcome->kind = Outcome::Kind::kAffected;
   outcome->affected = inserted;
   return Status::Ok();
@@ -848,15 +1085,41 @@ Status Database::RunUpdate(const ast::UpdateStatement& stmt,
     XNFDB_ASSIGN_OR_RETURN(bool m, ctx->Matches(table->Get(rid)));
     if (m) matches.push_back(rid);
   }
+  const bool track = matviews_.size() > 0;
+  std::vector<Tuple> old_rows, new_rows;
+  Status status = Status::Ok();
   for (Rid rid : matches) {
     Tuple row = table->Get(rid);
     Tuple updated = row;
     for (const auto& [idx, expr] : sets) {
-      XNFDB_ASSIGN_OR_RETURN(Value v, ctx->Eval(*expr, row));
-      updated[idx] = std::move(v);
+      Result<Value> v = ctx->Eval(*expr, row);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      updated[idx] = std::move(v).value();
     }
-    XNFDB_RETURN_IF_ERROR(table->Update(rid, std::move(updated)));
+    if (!status.ok()) break;
+    if (track) {
+      old_rows.push_back(std::move(row));
+      new_rows.push_back(updated);
+    }
+    Status up = table->Update(rid, std::move(updated));
+    if (!up.ok()) {
+      if (track) {
+        old_rows.pop_back();
+        new_rows.pop_back();
+      }
+      status = up;
+      break;
+    }
   }
+  // An UPDATE is a delete of the old images plus an insert of the new ones;
+  // rows updated before a mid-batch failure still count.
+  if (!old_rows.empty()) {
+    matviews_.OnBaseTableDml(catalog_, table->name(), new_rows, old_rows);
+  }
+  XNFDB_RETURN_IF_ERROR(status);
   outcome->kind = Outcome::Kind::kAffected;
   outcome->affected = matches.size();
   return Status::Ok();
@@ -873,9 +1136,22 @@ Status Database::RunDelete(const ast::DeleteStatement& stmt,
     XNFDB_ASSIGN_OR_RETURN(bool m, ctx->Matches(table->Get(rid)));
     if (m) matches.push_back(rid);
   }
+  const bool track = matviews_.size() > 0;
+  std::vector<Tuple> deleted_rows;
+  Status status = Status::Ok();
   for (Rid rid : matches) {
-    XNFDB_RETURN_IF_ERROR(table->Delete(rid));
+    if (track) deleted_rows.push_back(table->Get(rid));
+    Status del = table->Delete(rid);
+    if (!del.ok()) {
+      if (track) deleted_rows.pop_back();
+      status = del;
+      break;
+    }
   }
+  if (!deleted_rows.empty()) {
+    matviews_.OnBaseTableDml(catalog_, table->name(), {}, deleted_rows);
+  }
+  XNFDB_RETURN_IF_ERROR(status);
   outcome->kind = Outcome::Kind::kAffected;
   outcome->affected = matches.size();
   return Status::Ok();

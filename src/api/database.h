@@ -16,6 +16,7 @@
 
 #include "api/governor.h"
 #include "api/watchdog.h"
+#include "matview/matview.h"
 #include "common/env.h"
 #include "common/status.h"
 #include "exec/executor.h"
@@ -212,6 +213,15 @@ class Database {
   // drive write-back's bounded retry-with-backoff path.
   void InjectTransientFailures(int n) { transient_failures_ = n; }
 
+  // --- materialized CO views (src/matview/) -------------------------------
+  // The server-side materialized-view store behind SYS$MATVIEWS: hot view
+  // shapes are captured automatically by execution frequency (or pinned via
+  // MATERIALIZE <view>), kept fresh under DML by delta propagation with a
+  // stale-then-recompute fallback, and matching executions are served by
+  // MatViewScanOp over the stored answer set. XNFDB_MATVIEWS=0 disables.
+  MatViewStore& matviews() { return matviews_; }
+  const MatViewStore& matviews() const { return matviews_; }
+
   // --- resource governance (api/governor.h) -------------------------------
   // Every Query/QueryXnf/SELECT execution runs under a QueryContext with
   // limits resolved from ExecOptions (or the governor's env-derived
@@ -243,8 +253,19 @@ class Database {
   // Runs a compiled query under governance: builds the QueryContext (limits
   // from `eopts` falling back to governor defaults), admits, executes via
   // the fixpoint or graph path, and releases.
-  Result<QueryResult> ExecuteGoverned(const CompiledQuery& compiled,
+  // Non-const `compiled`: when this execution is captured as a
+  // materialization, the compiled graph moves into the matview store (for
+  // delta re-planning) instead of being cloned.
+  Result<QueryResult> ExecuteGoverned(CompiledQuery& compiled,
                                       const ExecOptions& eopts);
+  // Builds the QueryResult of a matview serve: MatViewScanOps over the
+  // stored component streams, connections emitted from stored partner-tid
+  // tuples, stats/plan-shape/feedback/profile filled as a real execution.
+  Result<QueryResult> ServeMatView(const CompiledQuery& compiled,
+                                   const MatViewStore::ServeHandle& handle,
+                                   const ExecOptions& eo);
+  Status RunMaterialize(const ast::MaterializeStatement& stmt,
+                        Outcome* outcome);
   Status RunCreateTable(const ast::CreateTableStatement& stmt);
   Status RunInsert(const ast::InsertStatement& stmt, Outcome* outcome);
   Status RunUpdate(const ast::UpdateStatement& stmt, Outcome* outcome);
@@ -272,6 +293,9 @@ class Database {
   int64_t qerror_alert_ = 100;
   obs::Counter* qerror_blowups_ =
       metrics_->GetCounter("plan.qerror_blowups");
+  // Declared after metrics_ (counter handles) and before governor_ (DML
+  // under an admitted statement may invalidate entries).
+  MatViewStore matviews_{MatViewConfig::FromEnv(), metrics_};
   Governor governor_{GovernorOptions::FromEnv(), metrics_};
   // Declared before sampler_: the sampler's on-sample callback evaluates
   // health rules, so the engine must outlive the sampler thread's join.

@@ -238,12 +238,18 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
   }
 
   int n_outputs = static_cast<int>(top->outputs.size());
+  const bool collect_counts = options.collect_dedup_counts;
   std::map<std::string, int> component_output;  // name -> output index
   std::map<std::string, TidMap> tids;  // component name -> tid map
   for (int i = 0; i < n_outputs; ++i) {
     if (!top->outputs[i].is_connection) {
       component_output[top->outputs[i].name] = i;
       tids[top->outputs[i].name];  // pre-create: stable under parallel pass
+      if (collect_counts && top->outputs[i].xnf_component) {
+        result.component_counts[i];  // pre-create: stable under parallel pass
+      }
+    } else if (collect_counts) {
+      result.connection_counts[i];
     }
   }
   std::vector<std::vector<StreamItem>> buffers(n_outputs);
@@ -320,6 +326,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
     item.output = oi;
     if (out.xnf_component) {
       auto [tid, inserted] = map.Intern(projected);
+      if (collect_counts) ++result.component_counts[oi][tid];
       if (!inserted) return Status::Ok();  // object sharing: emit once
       item.tid = tid;
     } else {
@@ -498,6 +505,8 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
         PhaseTimer timer(options.metrics, "phase.execute.us");
         XNFDB_RETURN_IF_ERROR(op->Open());
         std::set<std::vector<TupleId>> seen;
+        std::map<std::vector<TupleId>, int64_t>* counts =
+            collect_counts ? &result.connection_counts[oi] : nullptr;
         XNFDB_RETURN_IF_ERROR(PullRows(
             op.get(), batch_size, &run_stats.batches_emitted,
             [&](Tuple&& row) -> Status {
@@ -520,6 +529,7 @@ Result<QueryResult> ExecuteGraph(const Catalog& catalog,
                 }
                 partner_tids.push_back(it->second);
               }
+              if (counts != nullptr) ++(*counts)[partner_tids];
               if (!seen.insert(partner_tids).second) {
                 return Status::Ok();  // duplicate connection
               }

@@ -12,6 +12,7 @@
 #define XNFDB_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,14 @@ struct QueryResult {
   uint64_t plan_hash = 0;
   std::string plan_shape;
   std::vector<obs::OpFeedback> feedback;
+  // Pre-dedup derivation counts (ExecOptions::collect_dedup_counts), keyed
+  // by output index: for an XNF component output, tid -> how many produced
+  // rows interned to that tid; for a connection output, partner-tid tuple ->
+  // how many produced rows resolved to it. The matview store's counting
+  // algorithm (src/matview/) consumes these for incremental delete
+  // maintenance; plain multiset outputs need none (every row counts once).
+  std::map<int, std::map<TupleId, int64_t>> component_counts;
+  std::map<int, std::map<std::vector<TupleId>, int64_t>> connection_counts;
 
   // Index of the output named `name`, or -1.
   int FindOutput(const std::string& name) const;
@@ -117,6 +126,11 @@ struct ExecOptions {
   // plan_shape and feedback at query end (one tree walk per finished plan,
   // no per-row work). XNFDB_PLAN_FEEDBACK=0 turns it off via Database.
   bool collect_feedback = true;
+  // Fill QueryResult::component_counts / connection_counts with pre-dedup
+  // derivation counts. Off by default (one map bump per produced row); the
+  // Database enables it only on executions whose result it is about to
+  // materialize, so the counts can seed incremental delta maintenance.
+  bool collect_dedup_counts = false;
   // Per-query resource limits, consumed by Database (api/governor.h) when
   // it builds the query's context: -1 = use the governor's env-derived
   // default, 0 = explicitly unlimited, > 0 = this limit. Ignored by

@@ -385,6 +385,22 @@ Result<bool> MaterializedOp::NextBatchImpl(TupleBatch* out) {
   return !out->Empty();
 }
 
+Result<bool> MatViewScanOp::NextImpl(Tuple* row) {
+  if (pos_ >= rows_->size()) return false;
+  *row = (*rows_)[pos_++];
+  if (stats_ != nullptr) ++stats_->spool_read_rows;
+  return true;
+}
+
+Result<bool> MatViewScanOp::NextBatchImpl(TupleBatch* out) {
+  while (pos_ < rows_->size() && !out->Full()) {
+    out->AppendRow() = (*rows_)[pos_++];
+    if (stats_ != nullptr) ++stats_->spool_read_rows;
+  }
+  if (!out->Empty() && stats_ != nullptr) ++stats_->batches_spool;
+  return !out->Empty();
+}
+
 // --- row transforms -----------------------------------------------------------
 
 Result<bool> FilterOp::NextImpl(Tuple* row) {
@@ -709,41 +725,49 @@ Result<bool> NLJoinOp::NextImpl(Tuple* row) {
 // --- existential checks ----------------------------------------------------------
 
 Status ExistsFilterOp::OpenImpl() {
-  // Group indexes are built up front (not lazily on the first probing row):
-  // probes may come from several morsel workers or batch loops, and a
-  // mid-stream index build would be a data race / repeated work.
-  for (GroupCheck& g : groups_) {
-    if (naive_ || g.equi_outer.empty() || g.index_built) continue;
-    for (size_t i = 0; i < g.rows->size(); ++i) {
-      // This loop pulls from no child operator, so it must check the
-      // governor itself (batch-boundary granularity).
-      if (context() != nullptr && (i % 1024) == 0) {
-        XNFDB_RETURN_IF_ERROR(context()->Check());
-      }
-      Tuple key;
-      key.reserve(g.equi_inner.size());
-      bool null_key = false;
-      for (const qgm::Expr* k : g.equi_inner) {
-        XNFDB_ASSIGN_OR_RETURN(Value v,
-                               EvalExpr(*k, g.group_layout, (*g.rows)[i]));
-        if (v.is_null()) null_key = true;
-        key.push_back(std::move(v));
-      }
-      if (!null_key) {
-        if (context() != nullptr) {
-          XNFDB_RETURN_IF_ERROR(
-              context()->ReserveBytes(ApproxTupleBytes(key)));
-        }
-        g.index[std::move(key)].push_back(i);
-      }
-    }
-    g.index_built = true;
-  }
+  // Index builds are deferred to the first probe (EnsureIndex): when the
+  // probe side is empty, or a governor deadline/cancel has already expired,
+  // no group index is ever paid for. Safe because every probe loop — batch,
+  // row-at-a-time, or a morsel worker's — runs on this instance's single
+  // thread (morsel workers each own a full plan clone).
   return child_->Open();
+}
+
+Status ExistsFilterOp::EnsureIndex(GroupCheck* g) {
+  if (g->index_built) return Status::Ok();
+  // A budget termination must fire before the build cost is paid, and this
+  // loop pulls from no child operator, so it checks the governor itself
+  // (up front, then at batch-boundary granularity).
+  if (context() != nullptr) {
+    XNFDB_RETURN_IF_ERROR(context()->Check());
+  }
+  for (size_t i = 0; i < g->rows->size(); ++i) {
+    if (context() != nullptr && i > 0 && (i % 1024) == 0) {
+      XNFDB_RETURN_IF_ERROR(context()->Check());
+    }
+    Tuple key;
+    key.reserve(g->equi_inner.size());
+    bool null_key = false;
+    for (const qgm::Expr* k : g->equi_inner) {
+      XNFDB_ASSIGN_OR_RETURN(Value v,
+                             EvalExpr(*k, g->group_layout, (*g->rows)[i]));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (!null_key) {
+      if (context() != nullptr) {
+        XNFDB_RETURN_IF_ERROR(context()->ReserveBytes(ApproxTupleBytes(key)));
+      }
+      g->index[std::move(key)].push_back(i);
+    }
+  }
+  g->index_built = true;
+  return Status::Ok();
 }
 
 Result<bool> ExistsFilterOp::GroupMatches(GroupCheck* g, const Tuple& outer) {
   if (!g->equi_outer.empty() && !naive_) {
+    XNFDB_RETURN_IF_ERROR(EnsureIndex(g));
     Tuple key;
     key.reserve(g->equi_outer.size());
     for (const qgm::Expr* k : g->equi_outer) {
@@ -1043,6 +1067,13 @@ void RangeScanOp::ExplainImpl(int depth, std::string* out) const {
 void MaterializedOp::ExplainImpl(int depth, std::string* out) const {
   SelfLine(depth,
               "SpoolRead(" + std::to_string(rows_->size()) + " rows)", out);
+}
+
+void MatViewScanOp::ExplainImpl(int depth, std::string* out) const {
+  SelfLine(depth,
+           "MatViewScan(matview=" + view_name_ + ", " +
+               std::to_string(rows_->size()) + " rows)",
+           out);
 }
 
 void FilterOp::ExplainImpl(int depth, std::string* out) const {

@@ -381,6 +381,43 @@ class RangeScanOp : public Operator {
   size_t pos_ = 0;
 };
 
+// Reader over a server-side materialized view (src/matview/): serves the
+// stored rows of one output stream without re-running the join tree. Like
+// MaterializedOp but with matview provenance: Kind/ShapeToken carry the
+// view name, so SYS$PLAN_HISTORY witnesses the plan flip and EXPLAIN shows
+// `matview=<name>`.
+class MatViewScanOp : public Operator {
+ public:
+  MatViewScanOp(std::string view_name,
+                std::shared_ptr<const std::vector<Tuple>> rows,
+                ExecStats* stats)
+      : view_name_(std::move(view_name)),
+        rows_(std::move(rows)),
+        stats_(stats) {}
+
+  const char* Kind() const override { return "matview_scan"; }
+  void ShapeToken(std::string* out) const override {
+    *out += "matview_scan:" + view_name_;
+  }
+
+ protected:
+  Status OpenImpl() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+  Result<bool> NextImpl(Tuple* row) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
+  void CloseImpl() override {}
+
+  void ExplainImpl(int depth, std::string* out) const override;
+
+ private:
+  std::string view_name_;
+  std::shared_ptr<const std::vector<Tuple>> rows_;
+  ExecStats* stats_;
+  size_t pos_ = 0;
+};
+
 // Reader over a materialized (spooled) buffer.
 class MaterializedOp : public Operator {
  public:
@@ -666,8 +703,9 @@ struct GroupCheck {
   // Remaining correlated predicates over the combined layout.
   std::vector<const qgm::Expr*> residual;
 
-  // Hash over `rows` keyed by equi_inner, built once at Open (probes may
-  // run concurrently under morsel parallelism; they never mutate this).
+  // Hash over `rows` keyed by equi_inner, built lazily by the first probe
+  // that reaches this group (morsel workers each own a full plan clone, so
+  // a group is only ever probed — and built — by one thread).
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> index;
   bool index_built = false;
 };
@@ -696,8 +734,10 @@ class ExistsFilterOp : public Operator {
   const char* Kind() const override { return "exists"; }
 
  protected:
-  // Builds every group's hash index up front: shared-plan morsel workers
-  // and batch probes must never mutate a group mid-stream.
+  // Opens only the child: group hash indexes are built lazily by the first
+  // probe that needs them (EnsureIndex), so an empty probe side — or a
+  // governor deadline/cancel that fires before the first row — never pays
+  // the build cost.
   Status OpenImpl() override;
   Result<bool> NextImpl(Tuple* row) override;
   Result<bool> NextBatchImpl(TupleBatch* out) override;
@@ -706,6 +746,9 @@ class ExistsFilterOp : public Operator {
   void ExplainImpl(int depth, std::string* out) const override;
 
  private:
+  // Builds `g`'s hash index if not yet built; checks the governor before
+  // and during the build so budget terminations fire first.
+  Status EnsureIndex(GroupCheck* g);
   Result<bool> GroupMatches(GroupCheck* g, const Tuple& outer);
   Result<bool> RowPasses(const Tuple& row);
 

@@ -1,0 +1,241 @@
+// Server-side materialized CO views with incremental delta maintenance.
+//
+// The paper measures composite-object extraction as the dominant server
+// cost (Fig. 6): the same multi-join view shapes are recomputed on every
+// fetch. This subsystem keeps the *server-side answer set* of hot view
+// shapes — the heterogeneous component/connection streams of Sect. 5 —
+// materialized, so a repeated query is answered by a MatViewScanOp over
+// stored rows instead of re-running the join trees.
+//
+// Shape selection is automatic (SYS$STATEMENTS execution frequency via
+// Database's capture policy) or explicit (`MATERIALIZE <view>` pins one).
+// Under base-table DML the store keeps entries fresh by the counting
+// algorithm: the changed table is substituted by a transient delta table
+// (PlanOptions::table_overrides), the affected output boxes are re-planned
+// and drained, and the per-row derivation counts captured at
+// materialization time (ExecOptions::collect_dedup_counts) are incremented
+// or decremented — a component row disappears when its count reaches zero.
+// Shapes the delta rules cannot handle (the table under an exists group,
+// more than one reference, DISTINCT/GROUP BY/ORDER BY/LIMIT/UNION/
+// aggregates) fall back to marking the entry stale; the next matching
+// execution recomputes and re-stores it (counted in matview.full_refreshes,
+// fallbacks in matview.fallbacks).
+//
+// Caveat (documented in DESIGN.md §15): after delta maintenance the stored
+// answer equals a scratch recompute up to tuple-id isomorphism — deleted
+// component rows leave tid gaps, and rows added later take fresh ids, so
+// tids differ from a fresh execution while contents and the component↔
+// connection linkage are identical.
+
+#ifndef XNFDB_MATVIEW_MATVIEW_H_
+#define XNFDB_MATVIEW_MATVIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "exec/expr_eval.h"
+#include "obs/metrics.h"
+#include "qgm/qgm.h"
+#include "storage/catalog.h"
+#include "storage/sysview.h"
+
+namespace xnfdb {
+
+// Env-derived knobs. XNFDB_MATVIEWS=0 is the kill switch; the rest bound
+// the policy (see FromEnv for names and defaults).
+struct MatViewConfig {
+  bool enabled = true;
+  // Auto-materialization: capture the result of an execution when the
+  // statement shape's call count (including this call) reaches auto_calls
+  // and its mean latency so far is at least auto_min_avg_us.
+  int64_t auto_calls = 2;        // XNFDB_MATVIEW_AUTO_CALLS
+  int64_t auto_min_avg_us = 0;   // XNFDB_MATVIEW_AUTO_US
+  size_t max_views = 32;         // XNFDB_MATVIEW_MAX
+  // Bounded materialization/refresh: results (and per-DML delta
+  // derivations) larger than this are never stored.
+  int64_t max_rows = 1 << 20;    // XNFDB_MATVIEW_MAX_ROWS
+
+  static MatViewConfig FromEnv();
+};
+
+// One stored output stream. Component streams keep rows in emission order
+// with their tids; XNF components additionally keep the content->tid map
+// (object sharing) and per-tid derivation counts. Connection streams keep
+// partner-tid tuples in emission order with per-tuple derivation counts.
+struct MatViewOutputData {
+  OutputDesc desc;
+  bool xnf_component = false;
+  std::vector<Tuple> rows;    // component streams
+  std::vector<TupleId> tids;  // parallel to rows
+  TupleId next_tid = 0;
+  std::unordered_map<Tuple, TupleId, TupleHash, TupleEq> content_tids;
+  std::map<TupleId, int64_t> counts;  // XNF components only
+  std::vector<std::vector<TupleId>> conns;  // connection streams
+  std::map<std::vector<TupleId>, int64_t> conn_counts;
+};
+
+// Immutable-once-published snapshot of one materialization. Delta
+// maintenance copies, modifies and swaps the snapshot, so an in-flight
+// serve keeps reading the version it resolved.
+struct MatViewData {
+  std::vector<MatViewOutputData> outputs;
+  int64_t total_rows = 0;  // stream items (component rows + connections)
+  int64_t bytes = 0;       // ApproxTupleBytes over rows + 8 per stored tid
+};
+
+// Point-in-time view of one entry (SYS$MATVIEWS, tests, the shell).
+struct MatViewInfo {
+  std::string name;
+  uint64_t digest = 0;
+  std::string text;
+  bool pinned = false;
+  bool fresh = false;
+  int64_t rows = 0;
+  int64_t bytes = 0;
+  int64_t hits = 0;
+  int64_t delta_applies = 0;
+  int64_t delta_rows = 0;
+  int64_t full_refreshes = 0;
+  int64_t fallbacks = 0;
+  int64_t created_us = 0;
+  int64_t refreshed_us = 0;
+};
+
+// The store. Thread-safe (one mutex); entries are keyed by statement
+// digest (parser/fingerprint.h), so any compiled query whose normalized
+// text matches a materialized shape is served, whether it arrived as the
+// view name, the expanded body, or an equivalent literal binding.
+class MatViewStore {
+ public:
+  struct ServeHandle {
+    std::string name;
+    std::shared_ptr<const MatViewData> data;
+  };
+
+  MatViewStore(const MatViewConfig& config, obs::MetricsRegistry* metrics);
+  MatViewStore(const MatViewStore&) = delete;
+  MatViewStore& operator=(const MatViewStore&) = delete;
+
+  const MatViewConfig& config() const { return config_; }
+  bool enabled() const;
+  // Runtime override of the kill switch (benches/tests; cheaper than env
+  // churn). Disabling does not drop entries — DML marks them stale.
+  void set_enabled(bool on);
+
+  // Serving: fills `*out` and returns true when a fresh materialization
+  // exists for `digest` (bumps the entry's and the store's hit counters).
+  // A stale or absent entry is a miss.
+  bool TryServe(uint64_t digest, ServeHandle* out);
+  // TryServe without touching any counter (EXPLAIN provenance).
+  bool Peek(uint64_t digest, ServeHandle* out) const;
+
+  // Policy: should the Database capture (collect_dedup_counts + Store) the
+  // execution about to run? True for a known-but-stale entry (refresh, also
+  // the pinned case) or when the auto thresholds are met. `prior_calls` /
+  // `prior_avg_us` come from StatementStore::Stats for the digest.
+  bool WantCapture(uint64_t digest, int64_t prior_calls,
+                   int64_t prior_avg_us) const;
+
+  // Stores one successful execution as the fresh materialization of
+  // `digest`. Analyzes `graph` for per-table delta eligibility and keeps it
+  // for delta re-planning. Refuses results over config().max_rows, shapes
+  // over virtual (sys$) tables, and new entries past max_views.
+  Status Store(uint64_t digest, const std::string& text,
+               const Catalog& catalog, std::shared_ptr<qgm::QueryGraph> graph,
+               const QueryResult& result);
+
+  // MATERIALIZE <view>: creates (or re-points) the pinned entry for
+  // `digest`; the caller then executes the view query so Store() fills it.
+  Status Pin(const std::string& name, uint64_t digest,
+             const std::string& text);
+  // DEMATERIALIZE <view> — false when no entry has that name.
+  bool Dematerialize(const std::string& name);
+
+  // DML hook (called by Database after rows hit the base table; an UPDATE
+  // passes both lists). Applies delta maintenance to every fresh entry
+  // referencing `table`, or marks it stale when the shape is ineligible or
+  // the delta fails.
+  void OnBaseTableDml(const Catalog& catalog, const std::string& table,
+                      const std::vector<Tuple>& inserted,
+                      const std::vector<Tuple>& deleted);
+
+  // DROP TABLE / DROP VIEW / LoadFrom invalidation.
+  void InvalidateTable(const std::string& table);
+  void InvalidateView(const std::string& name);
+  void Clear();
+
+  std::vector<MatViewInfo> Snapshot() const;
+  size_t size() const;
+
+  // Registry persistence (name, digest, pinned flag and query text only —
+  // loaded entries come back stale and refresh on their next execution).
+  Status SaveRegistry(Env* env, const std::string& path) const;
+  Status LoadRegistry(Env* env, const std::string& path);
+
+ private:
+  struct Entry {
+    std::string name;
+    uint64_t digest = 0;
+    std::string text;
+    bool pinned = false;
+    bool fresh = false;
+    std::shared_ptr<const MatViewData> data;
+    std::shared_ptr<qgm::QueryGraph> graph;
+    // Delta-eligibility analysis (computed at Store time).
+    std::set<std::string> tables;            // every referenced base table
+    std::set<std::string> delta_ineligible;  // DML on these -> stale
+    std::map<std::string, std::vector<int>> delta_outputs;  // table -> outputs
+    int64_t hits = 0;
+    int64_t delta_applies = 0;
+    int64_t delta_rows = 0;
+    int64_t full_refreshes = 0;
+    int64_t fallbacks = 0;
+    int64_t created_us = 0;
+    int64_t refreshed_us = 0;
+  };
+
+  // Runs both delta passes for one entry; any error means "mark stale".
+  Status ApplyDeltaLocked(const Catalog& catalog, Entry* e,
+                          const std::string& table,
+                          const std::vector<Tuple>& inserted,
+                          const std::vector<Tuple>& deleted);
+  void UpdateGaugesLocked();
+
+  MatViewConfig config_;
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  std::map<uint64_t, Entry> entries_;  // by digest
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* materializations_;
+  obs::Counter* full_refreshes_;
+  obs::Counter* delta_applies_;
+  obs::Counter* delta_rows_;
+  obs::Counter* fallbacks_;
+  obs::Counter* rejects_;
+  obs::Counter* invalidations_;
+  obs::Gauge* count_gauge_;
+  obs::Gauge* rows_gauge_;
+  obs::Gauge* bytes_gauge_;
+  obs::Gauge* stale_gauge_;
+};
+
+// SYS$MATVIEWS(NAME, DIGEST, STATE, PINNED, ROWS, BYTES, HITS,
+//              DELTA_APPLIES, DELTA_ROWS, FULL_REFRESHES, FALLBACKS,
+//              CREATED_US, REFRESHED_US) — one row per materialization.
+std::unique_ptr<VirtualTableProvider> MakeMatViewsProvider(
+    const MatViewStore* store);
+
+}  // namespace xnfdb
+
+#endif  // XNFDB_MATVIEW_MATVIEW_H_

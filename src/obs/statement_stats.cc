@@ -60,6 +60,17 @@ std::vector<StatementSnapshot> StatementStore::Snapshot() const {
   return out;
 }
 
+bool StatementStore::Stats(uint64_t digest, int64_t* calls,
+                           int64_t* avg_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  const Entry& e = *it->second;
+  if (calls != nullptr) *calls = e.calls;
+  if (avg_us != nullptr) *avg_us = e.calls > 0 ? e.total_us / e.calls : 0;
+  return true;
+}
+
 size_t StatementStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

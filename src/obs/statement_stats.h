@@ -66,6 +66,11 @@ class StatementStore {
   // All entries, in digest order.
   std::vector<StatementSnapshot> Snapshot() const;
 
+  // Cheap per-digest lookup for policy decisions (e.g. the matview store's
+  // auto-materialization threshold): fills `*calls` / `*avg_us` and returns
+  // true when the digest has an entry. Either out pointer may be null.
+  bool Stats(uint64_t digest, int64_t* calls, int64_t* avg_us) const;
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   // Statements whose (new) digest did not fit under `capacity`.

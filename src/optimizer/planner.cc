@@ -107,6 +107,12 @@ Result<std::shared_ptr<const std::vector<Tuple>>> Planner::MaterializeBox(
   return shared;
 }
 
+Table* Planner::OverrideFor(const std::string& name) const {
+  if (options_.table_overrides == nullptr) return nullptr;
+  auto it = options_.table_overrides->find(name);
+  return it == options_.table_overrides->end() ? nullptr : it->second;
+}
+
 Result<OperatorPtr> Planner::CompileBox(int box_id) {
   const Box* box = graph_->box(box_id);
   if (graph_->IsDead(box_id)) {
@@ -116,6 +122,10 @@ Result<OperatorPtr> Planner::CompileBox(int box_id) {
   OperatorPtr op;
   switch (box->kind) {
     case BoxKind::kBaseTable: {
+      if (Table* delta = OverrideFor(box->table_name)) {
+        op = std::make_unique<ScanOp>(delta, stats_);
+        break;
+      }
       if (const VirtualTableProvider* v =
               catalog_->GetVirtualTable(box->table_name)) {
         op = std::make_unique<VirtualScanOp>(v, stats_);
@@ -170,7 +180,9 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   OperatorPtr op;
   // Access-path selection: `col = literal` on an indexed base-table column.
   // Virtual tables (sys$ views) have no indexes: HasTable excludes them.
+  // Overridden (delta) tables have no indexes either: OverrideFor excludes.
   if (options_.use_indexes && source->kind == BoxKind::kBaseTable &&
+      OverrideFor(source->table_name) == nullptr &&
       catalog_->HasTable(source->table_name)) {
     XNFDB_ASSIGN_OR_RETURN(Table * table,
                            catalog_->GetTable(source->table_name));
@@ -203,6 +215,7 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   // ordered-indexed column (col < lit, col >= lit, ..., col = lit).
   if (op == nullptr && options_.use_indexes &&
       source->kind == BoxKind::kBaseTable &&
+      OverrideFor(source->table_name) == nullptr &&
       catalog_->HasTable(source->table_name)) {
     XNFDB_ASSIGN_OR_RETURN(Table * table,
                            catalog_->GetTable(source->table_name));
@@ -295,6 +308,17 @@ Result<OperatorPtr> Planner::QuantSource(const Quantifier& q,
   return op;
 }
 
+const Table* Planner::StatsTableFor(int quant_id) const {
+  const Box* ranged = graph_->RangedBox(quant_id);
+  if (ranged == nullptr || ranged->kind != BoxKind::kBaseTable) return nullptr;
+  // Delta-overridden scans cost by the override's stats: the real table is
+  // not read by the plan, and touching it here would recompute full column
+  // statistics (O(rows)) on every delta-maintenance re-plan.
+  if (Table* delta = OverrideFor(ranged->table_name)) return delta;
+  Result<Table*> table = catalog_->GetTable(ranged->table_name);
+  return table.ok() ? table.value() : nullptr;
+}
+
 double Planner::PredSelectivity(const Expr& pred) {
   if (pred.kind == Expr::Kind::kBinary) {
     if (pred.op == "=") {
@@ -308,13 +332,9 @@ double Planner::PredSelectivity(const Expr& pred) {
         col = pred.rhs.get();
       }
       if (col != nullptr) {
-        const Box* ranged = graph_->RangedBox(col->quant_id);
-        if (ranged != nullptr && ranged->kind == BoxKind::kBaseTable) {
-          Result<Table*> table = catalog_->GetTable(ranged->table_name);
-          if (table.ok()) {
-            size_t d = table.value()->GetColumnStats(col->column).distinct;
-            if (d > 0) return 1.0 / static_cast<double>(d);
-          }
+        if (const Table* t = StatsTableFor(col->quant_id)) {
+          size_t d = t->GetColumnStats(col->column).distinct;
+          if (d > 0) return 1.0 / static_cast<double>(d);
         }
         return 0.05;
       }
@@ -323,13 +343,9 @@ double Planner::PredSelectivity(const Expr& pred) {
           pred.rhs->kind == Expr::Kind::kColRef) {
         double d = 10.0;
         for (const Expr* side : {pred.lhs.get(), pred.rhs.get()}) {
-          const Box* ranged = graph_->RangedBox(side->quant_id);
-          if (ranged != nullptr && ranged->kind == BoxKind::kBaseTable) {
-            Result<Table*> table = catalog_->GetTable(ranged->table_name);
-            if (table.ok()) {
-              size_t dd = table.value()->GetColumnStats(side->column).distinct;
-              d = std::max(d, static_cast<double>(dd));
-            }
+          if (const Table* t = StatsTableFor(side->quant_id)) {
+            size_t dd = t->GetColumnStats(side->column).distinct;
+            d = std::max(d, static_cast<double>(dd));
           }
         }
         return 1.0 / d;
@@ -362,6 +378,10 @@ double Planner::EstimateCard(int box_id) {
   double card = 1.0;
   switch (box->kind) {
     case BoxKind::kBaseTable: {
+      if (Table* delta = OverrideFor(box->table_name)) {
+        card = static_cast<double>(delta->row_count());
+        break;
+      }
       Result<Table*> table = catalog_->GetTable(box->table_name);
       if (table.ok()) {
         card = static_cast<double>(table.value()->row_count());

@@ -44,6 +44,11 @@ struct PlanOptions {
   // it to every returned tree and plan-time materializations (spools,
   // existential group builds) charge their rows against its memory budget.
   QueryContext* context = nullptr;
+  // Base-table substitution (matview delta propagation): a box referencing
+  // table `name` scans the mapped transient table instead of the catalog
+  // one. Overridden tables never take index access paths — delta tables
+  // carry no indexes. Not owned; must outlive the planner.
+  const std::map<std::string, Table*>* table_overrides = nullptr;
 };
 
 // Compiles boxes of one QueryGraph into operators. The planner owns the
@@ -89,6 +94,13 @@ class Planner {
   double QuantCard(const qgm::Quantifier& q,
                    const std::vector<const qgm::Expr*>& pushed);
   double PredSelectivity(const qgm::Expr& pred);
+
+  // The override table for `name`, or nullptr (options_.table_overrides).
+  Table* OverrideFor(const std::string& name) const;
+  // The table whose statistics cost the stream `quant_id` ranges over: the
+  // delta override when one is installed, else the catalog base table;
+  // nullptr when the quantifier does not range over a base table.
+  const Table* StatsTableFor(int quant_id) const;
 
   const Catalog* catalog_;
   const qgm::QueryGraph* graph_;

@@ -282,6 +282,8 @@ struct Statement {
     kDelete,
     kDropTable,
     kDropView,
+    kMaterialize,    // MATERIALIZE <view>: pin a server-side matview
+    kDematerialize,  // DEMATERIALIZE <view>: drop its materialization
   };
 
   explicit Statement(Kind kind) : kind(kind) {}
@@ -355,6 +357,14 @@ struct DeleteStatement : Statement {
 
 struct DropStatement : Statement {
   explicit DropStatement(Kind kind) : Statement(kind) {}
+  std::string name;
+};
+
+// MATERIALIZE <view> / DEMATERIALIZE <view> (src/matview/): pins the named
+// view's result in the server-side materialized-view store, or drops the
+// materialization (the view definition itself is untouched).
+struct MaterializeStatement : Statement {
+  explicit MaterializeStatement(Kind kind) : Statement(kind) {}
   std::string name;
 };
 

@@ -215,6 +215,12 @@ std::string NormStatement(const ast::Statement& stmt) {
       return "DROP TABLE " + static_cast<const ast::DropStatement&>(stmt).name;
     case Kind::kDropView:
       return "DROP VIEW " + static_cast<const ast::DropStatement&>(stmt).name;
+    case Kind::kMaterialize:
+      return "MATERIALIZE " +
+             static_cast<const ast::MaterializeStatement&>(stmt).name;
+    case Kind::kDematerialize:
+      return "DEMATERIALIZE " +
+             static_cast<const ast::MaterializeStatement&>(stmt).name;
   }
   return "?";
 }

@@ -145,7 +145,17 @@ class Parser {
     if (Accept("INSERT")) return ParseInsert();
     if (Accept("UPDATE")) return ParseUpdate();
     if (Accept("DELETE")) return ParseDelete();
+    if (Accept("MATERIALIZE")) return ParseMaterialize(true);
+    if (Accept("DEMATERIALIZE")) return ParseMaterialize(false);
     return Error("expected a statement");
+  }
+
+  Result<ast::StatementPtr> ParseMaterialize(bool materialize) {
+    auto stmt = std::make_unique<ast::MaterializeStatement>(
+        materialize ? ast::Statement::Kind::kMaterialize
+                    : ast::Statement::Kind::kDematerialize);
+    XNFDB_ASSIGN_OR_RETURN(stmt->name, ExpectIdent("view name"));
+    return ast::StatementPtr(std::move(stmt));
   }
 
   Result<ast::StatementPtr> ParseCreateTable() {

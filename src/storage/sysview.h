@@ -51,6 +51,12 @@
 //       one row per health rule with its current OK/FIRING state
 //   SYS$ALERTS(SEQ, TS_US, RULE, SERIES, FROM_STATE, TO_STATE, VALUE, BOUND)
 //       the health engine's alert-transition ring, oldest-first
+//   SYS$MATVIEWS(NAME, DIGEST, STATE, PINNED, ROWS, BYTES, HITS,
+//                  DELTA_APPLIES, DELTA_ROWS, FULL_REFRESHES, FALLBACKS,
+//                  CREATED_US, REFRESHED_US)
+//       the materialized-view store (matview/matview.h): one row per
+//       stored CO-view answer set with its freshness state and
+//       maintenance counters (api-registered)
 //
 // When a QueryProfileStore is supplied, SYS$STATEMENTS additionally carries
 // SCAN_SELF_US / JOIN_SELF_US / FILTER_SELF_US / OTHER_SELF_US — cumulative

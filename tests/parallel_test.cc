@@ -78,6 +78,9 @@ TEST(ParallelTest, StatsAreConsistentSnapshotsAcrossWorkerCounts) {
   // sequential counters — for every counter, not just spool builds.
   Database db;
   ASSERT_TRUE(testing_util::LoadPaperDb(&db).ok());
+  // Repeats of one statement would flip to a matview serve (no operators,
+  // no scans); this test is about the executor's stats snapshot.
+  db.matviews().set_enabled(false);
   Result<QueryResult> seq =
       db.Query(testing_util::kDepsArcQuery, {}, ExecOptions{});
   ASSERT_TRUE(seq.ok()) << seq.status().ToString();
